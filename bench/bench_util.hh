@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: a table
+ * printer that shows paper-reported values next to measured ones, and
+ * rate/goodput helpers.
+ *
+ * Each binary regenerates one table or figure from the paper. The
+ * substrate is a simulator, not the authors' testbed, so the binaries
+ * print "paper" and "measured" columns side by side: absolute numbers
+ * track where behaviour is architectural and the *shape* (who wins,
+ * by what factor, where curves break) is the reproduction target.
+ */
+
+#ifndef F4T_BENCH_BENCH_UTIL_HH
+#define F4T_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace f4t::bench
+{
+
+/** Print the standard figure banner. */
+inline void
+banner(const std::string &figure, const std::string &title)
+{
+    std::printf("\n");
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), title.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Simple aligned table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &row : rows_) {
+            for (std::size_t c = 0; c < row.size() && c < width.size();
+                 ++c) {
+                width[c] = std::max(width[c], row[c].size());
+            }
+        }
+        auto print_row = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            cells[c].c_str());
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+/** Goodput in Gbps from bytes over a simulated window. */
+inline double
+gbps(std::uint64_t bytes, sim::Tick window)
+{
+    double seconds = sim::ticksToSeconds(window);
+    return seconds > 0 ? bytes * 8.0 / seconds / 1e9 : 0.0;
+}
+
+/** Rate in millions per second over a simulated window. */
+inline double
+mrps(std::uint64_t count, sim::Tick window)
+{
+    double seconds = sim::ticksToSeconds(window);
+    return seconds > 0 ? count / seconds / 1e6 : 0.0;
+}
+
+} // namespace f4t::bench
+
+#endif // F4T_BENCH_BENCH_UTIL_HH

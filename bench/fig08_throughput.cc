@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Figure 8: end-to-end throughput of Linux and F4T with 64 B and
+ * 128 B requests over a 100 Gbps link, for (a) bulk data transfer
+ * (one flow per core, iPerf-style) and (b) round-robin requests
+ * (16 flows per core).
+ */
+
+#include "apps/testbed.hh"
+#include "apps/workloads.hh"
+#include "bench_util.hh"
+
+namespace f4t
+{
+namespace
+{
+
+struct Result
+{
+    double gbps;
+    double mrps;
+};
+
+Result
+runF4t(std::size_t cores, std::size_t request_bytes, bool round_robin,
+       sim::Tick warmup, sim::Tick window)
+{
+    core::EngineConfig config;
+    config.numFpcs = 8;
+    config.flowsPerFpc = 128;
+    config.maxFlows = 4096;
+    testbed::EnginePairWorld world(cores, config);
+
+    // Receiver side: one sink thread per core.
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> sink_apis;
+    std::vector<std::unique_ptr<apps::BulkSinkApp>> sinks;
+    for (std::size_t i = 0; i < cores; ++i) {
+        sink_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeB, i, world.cpuB->core(i)));
+        apps::BulkSinkConfig sink_config;
+        sink_config.port = 5001;
+        sinks.push_back(std::make_unique<apps::BulkSinkApp>(
+            *sink_apis.back(), sink_config));
+        sinks.back()->start();
+    }
+
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> send_apis;
+    std::vector<std::unique_ptr<apps::BulkSenderApp>> bulk;
+    std::vector<std::unique_ptr<apps::RoundRobinSenderApp>> rr;
+    for (std::size_t i = 0; i < cores; ++i) {
+        send_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeA, i, world.cpuA->core(i)));
+        if (round_robin) {
+            apps::RoundRobinSenderConfig sender_config;
+            sender_config.peer = testbed::ipB();
+            sender_config.requestBytes = request_bytes;
+            sender_config.flows = 16;
+            rr.push_back(std::make_unique<apps::RoundRobinSenderApp>(
+                *send_apis.back(), sender_config));
+            rr.back()->start();
+        } else {
+            apps::BulkSenderConfig sender_config;
+            sender_config.peer = testbed::ipB();
+            sender_config.requestBytes = request_bytes;
+            bulk.push_back(std::make_unique<apps::BulkSenderApp>(
+                *send_apis.back(), sender_config));
+            bulk.back()->start();
+        }
+    }
+
+    world.sim.runFor(warmup);
+    std::uint64_t bytes_before = 0;
+    for (auto &sink : sinks)
+        bytes_before += sink->bytesReceived();
+    world.sim.runFor(window);
+    std::uint64_t bytes = 0;
+    for (auto &sink : sinks)
+        bytes += sink->bytesReceived();
+    bytes -= bytes_before;
+
+    return Result{bench::gbps(bytes, window),
+                  bench::mrps(bytes / request_bytes, window)};
+}
+
+Result
+runLinux(std::size_t cores, std::size_t request_bytes, bool round_robin,
+         sim::Tick warmup, sim::Tick window)
+{
+    baseline::LinuxHostConfig host_config;
+    host_config.latencyJitter = false; // throughput experiment
+    testbed::LinuxPairWorld world(cores, host_config);
+
+    std::vector<std::unique_ptr<apps::LinuxSocketApi>> sink_apis;
+    std::vector<std::unique_ptr<apps::BulkSinkApp>> sinks;
+    for (std::size_t i = 0; i < cores; ++i) {
+        sink_apis.push_back(std::make_unique<apps::LinuxSocketApi>(
+            world.sim, *world.hostB, i));
+        apps::BulkSinkConfig sink_config;
+        sinks.push_back(std::make_unique<apps::BulkSinkApp>(
+            *sink_apis.back(), sink_config));
+        sinks.back()->start();
+    }
+
+    // Low-locality penalty applies to the round-robin pattern
+    // (Fig. 8b: many small packets, no TSO batching).
+    double penalty =
+        round_robin ? host::LinuxCosts::smallFlowPenalty : 0.0;
+
+    std::vector<std::unique_ptr<apps::LinuxSocketApi>> send_apis;
+    std::vector<std::unique_ptr<apps::BulkSenderApp>> bulk;
+    std::vector<std::unique_ptr<apps::RoundRobinSenderApp>> rr;
+    for (std::size_t i = 0; i < cores; ++i) {
+        send_apis.push_back(std::make_unique<apps::LinuxSocketApi>(
+            world.sim, *world.hostA, i, penalty));
+        if (round_robin) {
+            apps::RoundRobinSenderConfig sender_config;
+            sender_config.peer = testbed::ipB();
+            sender_config.requestBytes = request_bytes;
+            sender_config.flows = 16;
+            rr.push_back(std::make_unique<apps::RoundRobinSenderApp>(
+                *send_apis.back(), sender_config));
+            rr.back()->start();
+        } else {
+            apps::BulkSenderConfig sender_config;
+            sender_config.peer = testbed::ipB();
+            sender_config.requestBytes = request_bytes;
+            bulk.push_back(std::make_unique<apps::BulkSenderApp>(
+                *send_apis.back(), sender_config));
+            bulk.back()->start();
+        }
+    }
+
+    world.sim.runFor(warmup);
+    std::uint64_t bytes_before = 0;
+    for (auto &sink : sinks)
+        bytes_before += sink->bytesReceived();
+    world.sim.runFor(window);
+    std::uint64_t bytes = 0;
+    for (auto &sink : sinks)
+        bytes += sink->bytesReceived();
+    bytes -= bytes_before;
+
+    return Result{bench::gbps(bytes, window),
+                  bench::mrps(bytes / request_bytes, window)};
+}
+
+void
+section(bool round_robin, const char *paper_note)
+{
+    std::printf("\n%s (%s):\n",
+                round_robin ? "(b) round-robin requests, 16 flows/core"
+                            : "(a) bulk data transfer, 1 flow/core",
+                paper_note);
+    bench::Table table({"req size", "cores", "Linux Gbps", "F4T Gbps",
+                        "F4T Mrps"});
+    sim::Tick warmup = sim::microsecondsToTicks(300);
+    sim::Tick window = sim::microsecondsToTicks(300);
+    for (std::size_t size : {64u, 128u}) {
+        for (std::size_t cores : {1u, 2u, 4u, 8u}) {
+            Result linux_result =
+                runLinux(cores, size, round_robin, warmup, window);
+            Result f4t_result =
+                runF4t(cores, size, round_robin, warmup, window);
+            table.addRow({std::to_string(size), std::to_string(cores),
+                          bench::fmt("%.2f", linux_result.gbps),
+                          bench::fmt("%.1f", f4t_result.gbps),
+                          bench::fmt("%.1f", f4t_result.mrps)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+} // namespace f4t
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 8",
+                  "throughput with different request patterns (100 Gbps)");
+
+    section(false,
+            "paper: Linux 8.3 Gbps @8C/128B; F4T 45 Gbps @1C, 87 @2C, "
+            "92.6 @8C");
+    section(true,
+            "paper: Linux <1 Gbps; F4T 35 Gbps @1C, 63 @2C, 90 @8C");
+
+    std::printf(
+        "\nShape check (paper): Linux cannot saturate the link at small\n"
+        "request sizes no matter the cores; F4T approaches line rate\n"
+        "with two cores on bulk, and still reaches ~90 Gbps on the\n"
+        "round-robin pattern because accumulated events grow into\n"
+        "large segments when the link is the bottleneck (Section 5.1).\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 9: F4T bulk data transfer with small request sizes
+ * (16 B - 1 KB) on 2 and 16 cores — goodput and requests/s. With 16 B
+ * requests the ceiling is the PCIe bandwidth: every request costs a
+ * 16 B command plus a 16 B payload DMA (Section 5.1 reports 50.7 Gbps
+ * / 396 Mrps at 16 cores).
+ */
+
+#include "apps/testbed.hh"
+#include "apps/workloads.hh"
+#include "bench_util.hh"
+
+namespace f4t
+{
+namespace
+{
+
+struct Result
+{
+    double gbps;
+    double mrps;
+};
+
+Result
+run(std::size_t cores, std::size_t request_bytes)
+{
+    core::EngineConfig config;
+    config.numFpcs = 8;
+    config.flowsPerFpc = 128;
+    config.maxFlows = 4096;
+    testbed::EnginePairWorld world(cores, config);
+
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> sink_apis;
+    std::vector<std::unique_ptr<apps::BulkSinkApp>> sinks;
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> send_apis;
+    std::vector<std::unique_ptr<apps::BulkSenderApp>> senders;
+    for (std::size_t i = 0; i < cores; ++i) {
+        sink_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeB, i, world.cpuB->core(i)));
+        apps::BulkSinkConfig sink_config;
+        sinks.push_back(std::make_unique<apps::BulkSinkApp>(
+            *sink_apis.back(), sink_config));
+        sinks.back()->start();
+
+        send_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeA, i, world.cpuA->core(i)));
+        apps::BulkSenderConfig sender_config;
+        sender_config.peer = testbed::ipB();
+        sender_config.requestBytes = request_bytes;
+        senders.push_back(std::make_unique<apps::BulkSenderApp>(
+            *send_apis.back(), sender_config));
+        senders.back()->start();
+    }
+
+    sim::Tick warmup = sim::microsecondsToTicks(200);
+    sim::Tick window = sim::microsecondsToTicks(200);
+    world.sim.runFor(warmup);
+    std::uint64_t before = 0;
+    for (auto &sink : sinks)
+        before += sink->bytesReceived();
+    world.sim.runFor(window);
+    std::uint64_t bytes = 0;
+    for (auto &sink : sinks)
+        bytes += sink->bytesReceived();
+    bytes -= before;
+
+    return Result{bench::gbps(bytes, window),
+                  bench::mrps(bytes / request_bytes, window)};
+}
+
+} // namespace
+} // namespace f4t
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 9",
+                  "bulk transfer with small request sizes (F4T)");
+
+    bench::Table table({"req size (B)", "2C Gbps", "2C Mrps", "16C Gbps",
+                        "16C Mrps"});
+    for (std::size_t size : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+        Result two = run(2, size);
+        Result sixteen = run(16, size);
+        table.addRow({std::to_string(size), bench::fmt("%.1f", two.gbps),
+                      bench::fmt("%.1f", two.mrps),
+                      bench::fmt("%.1f", sixteen.gbps),
+                      bench::fmt("%.1f", sixteen.mrps)});
+    }
+    table.print();
+
+    std::printf(
+        "\nShape check (paper): requests/s rise as requests shrink and\n"
+        "the per-request PCIe cost (16 B command + payload DMA) becomes\n"
+        "the bottleneck — the paper reports 396 Mrps / 50.7 Gbps at 16 B\n"
+        "with 16 cores; goodput saturates near line rate at ~256 B+.\n");
+    return 0;
+}

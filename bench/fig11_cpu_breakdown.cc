@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 11: CPU utilization breakdown of Nginx on Linux vs F4T (one
+ * server core, 64 flows). F4T removes the kernel TCP cycles entirely;
+ * the reclaimed cycles go to the application, which is why the request
+ * rate rises ~2.8x. The remaining kernel time is filesystem access
+ * (vfs_read of the HTML file), which offloading TCP cannot remove.
+ */
+
+#include "bench_util.hh"
+#include "nginx_common.hh"
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 11",
+                  "Nginx CPU breakdown: Linux vs F4T (1 core, 64 flows)");
+
+    sim::Tick warmup = sim::millisecondsToTicks(2);
+    sim::Tick window = sim::millisecondsToTicks(5);
+
+    bench::NginxResult linux_result =
+        bench::runNginxLinux(1, 64, warmup, window, /*jitter=*/false);
+    bench::NginxResult f4t_result =
+        bench::runNginxF4t(1, 64, warmup, window);
+
+    auto share = [](const bench::NginxResult &r, double part) {
+        double total = r.appCycles + r.tcpCycles + r.kernelCycles +
+                       r.libraryCycles + r.filesystemCycles;
+        return total > 0 ? 100.0 * part / total : 0.0;
+    };
+
+    bench::Table table({"category", "Linux cyc/req", "Linux %",
+                        "F4T cyc/req", "F4T %"});
+    table.addRow({"application",
+                  bench::fmt("%.0f", linux_result.appCycles),
+                  bench::fmt("%.0f%%",
+                             share(linux_result, linux_result.appCycles)),
+                  bench::fmt("%.0f", f4t_result.appCycles),
+                  bench::fmt("%.0f%%",
+                             share(f4t_result, f4t_result.appCycles))});
+    table.addRow({"kernel TCP",
+                  bench::fmt("%.0f", linux_result.tcpCycles),
+                  bench::fmt("%.0f%%",
+                             share(linux_result, linux_result.tcpCycles)),
+                  bench::fmt("%.0f", f4t_result.tcpCycles),
+                  bench::fmt("%.0f%%",
+                             share(f4t_result, f4t_result.tcpCycles))});
+    table.addRow(
+        {"other kernel",
+         bench::fmt("%.0f", linux_result.kernelCycles),
+         bench::fmt("%.0f%%", share(linux_result,
+                                    linux_result.kernelCycles)),
+         bench::fmt("%.0f", f4t_result.kernelCycles),
+         bench::fmt("%.0f%%", share(f4t_result, f4t_result.kernelCycles))});
+    table.addRow(
+        {"filesystem (vfs_read)",
+         bench::fmt("%.0f", linux_result.filesystemCycles),
+         bench::fmt("%.0f%%",
+                    share(linux_result, linux_result.filesystemCycles)),
+         bench::fmt("%.0f", f4t_result.filesystemCycles),
+         bench::fmt("%.0f%%",
+                    share(f4t_result, f4t_result.filesystemCycles))});
+    table.addRow(
+        {"F4T library",
+         bench::fmt("%.0f", linux_result.libraryCycles),
+         bench::fmt("%.0f%%",
+                    share(linux_result, linux_result.libraryCycles)),
+         bench::fmt("%.0f", f4t_result.libraryCycles),
+         bench::fmt("%.0f%%", share(f4t_result,
+                                    f4t_result.libraryCycles))});
+    table.print();
+
+    double app_gain = linux_result.appCycles > 0
+                          ? (f4t_result.requestsPerSecond *
+                             f4t_result.appCycles) /
+                                (linux_result.requestsPerSecond *
+                                 linux_result.appCycles)
+                          : 0;
+    std::printf(
+        "\nrequest rate: Linux %.2f Mrps, F4T %.2f Mrps (%.2fx)\n"
+        "application cycles per second: %.2fx (paper: 2.8x)\n"
+        "kernel TCP cycles on F4T: %.0f (paper: all removed)\n",
+        linux_result.requestsPerSecond / 1e6,
+        f4t_result.requestsPerSecond / 1e6,
+        f4t_result.requestsPerSecond / linux_result.requestsPerSecond,
+        app_gain, f4t_result.tcpCycles);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 12: median and 99th-percentile latency of Nginx on Linux vs
+ * F4T (one server core). Despite FtEngine's deferred event processing,
+ * F4T's latency is far lower: the library polls in userspace while
+ * Linux responses ride on scheduler/softirq wakeups with a heavy tail
+ * (3.7x median, 26x p99 in the paper).
+ */
+
+#include "bench_util.hh"
+#include "nginx_common.hh"
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 12", "Nginx latency: Linux vs F4T (1 core)");
+
+    sim::Tick warmup = sim::millisecondsToTicks(2);
+    sim::Tick window = sim::millisecondsToTicks(12);
+
+    bench::Table table({"flows", "Linux p50 (us)", "F4T p50 (us)",
+                        "ratio", "Linux p99 (us)", "F4T p99 (us)",
+                        "ratio"});
+    for (std::size_t flows : {4u, 16u, 64u}) {
+        bench::NginxResult linux_result = bench::runNginxLinux(
+            1, flows, warmup, window, /*jitter=*/true);
+        bench::NginxResult f4t_result =
+            bench::runNginxF4t(1, flows, warmup, window);
+        table.addRow(
+            {std::to_string(flows),
+             bench::fmt("%.1f", linux_result.latencyP50Us),
+             bench::fmt("%.1f", f4t_result.latencyP50Us),
+             bench::fmt("%.1fx", f4t_result.latencyP50Us > 0
+                                     ? linux_result.latencyP50Us /
+                                           f4t_result.latencyP50Us
+                                     : 0),
+             bench::fmt("%.1f", linux_result.latencyP99Us),
+             bench::fmt("%.1f", f4t_result.latencyP99Us),
+             bench::fmt("%.1fx", f4t_result.latencyP99Us > 0
+                                     ? linux_result.latencyP99Us /
+                                           f4t_result.latencyP99Us
+                                     : 0)});
+    }
+    table.print();
+
+    std::printf(
+        "\nShape check (paper, 64 flows): 3.7x lower median and 26x\n"
+        "lower p99 on F4T — the deferred FPC processing adds at most\n"
+        "~1 us (one round-robin iteration), negligible against kernel\n"
+        "wakeup jitter (Section 5.2).\n");
+    return 0;
+}

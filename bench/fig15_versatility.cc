@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Figure 15: event processing rate of Baseline and F4T with various
+ * FPU processing latencies (the versatility claim, Section 5.4).
+ *
+ * The baseline (a Limago-style w-RMW design at 322 MHz) stalls for
+ * atomicity, so longer TCP algorithms cut its rate; F4T's FPC absorbs
+ * one event per two cycles at 250 MHz — 125 M events/s per FPC —
+ * regardless of the FPU pipeline depth.
+ */
+
+#include "baseline/stalling_engine.hh"
+#include "bench_util.hh"
+#include "core/fpc.hh"
+#include "sim/simulation.hh"
+
+namespace f4t
+{
+namespace
+{
+
+/** Saturating driver: keeps an engine's input queue topped up. */
+template <typename InjectFn, typename BacklogFn>
+std::uint64_t
+drive(sim::Simulation &sim, sim::Tick window, InjectFn inject,
+      BacklogFn backlog)
+{
+    std::uint64_t injected = 0;
+    sim::Tick end = sim.now() + window;
+    while (sim.now() < end) {
+        while (backlog() < 64) {
+            inject(injected);
+            ++injected;
+        }
+        sim.runFor(sim.engineClock().period() * 16);
+    }
+    return injected;
+}
+
+double
+measureF4t(unsigned latency)
+{
+    sim::Simulation sim;
+    tcp::NewRenoPolicy cc;
+    tcp::FpuProgram program(cc);
+    core::FpcConfig config;
+    config.slots = 128;
+    config.inputFifoDepth = 128;
+    config.fpuLatencyOverride = latency;
+    core::Fpc fpc(sim, "fpc", sim.engineClock(), program, config);
+
+    // 16 synthetic established flows (the multi-flow pattern).
+    constexpr std::size_t flows = 16;
+    for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+        core::MigratingTcb fresh;
+        tcp::Tcb &tcb = fresh.tcb;
+        tcb.flowId = flow;
+        tcb.iss = tcp::FpuProgram::initialSequence(flow);
+        tcb.sndUna = tcb.iss + 1;
+        tcb.sndUnaProcessed = tcb.sndUna;
+        tcb.sndNxt = tcb.iss + 1;
+        tcb.req = tcb.iss + 1;
+        tcb.lastAckNotified = tcb.iss + 1;
+        tcb.state = tcp::ConnState::established;
+        tcb.sndWnd = 1u << 30;
+        tcb.cwnd = 1u << 30;
+        tcb.ssthresh = 1u << 30;
+        tcb.ccPhase = tcp::CcPhase::congestionAvoidance;
+        tcb.rcvNxt = 1;
+        tcb.userRead = 1;
+        tcb.lastAckSent = 1;
+        tcb.lastRcvNotified = 1;
+        while (!fpc.canAcceptTcb())
+            sim.runFor(sim.engineClock().period());
+        fpc.installTcb(fresh);
+    }
+
+    std::vector<std::uint32_t> offsets(flows, 0);
+    sim::Tick window = sim::microsecondsToTicks(40);
+    sim.runFor(sim::microsecondsToTicks(1)); // settle installs
+
+    std::uint64_t before = fpc.eventsHandled();
+    sim::Tick start = sim.now();
+    drive(
+        sim, window,
+        [&](std::uint64_t n) {
+            tcp::FlowId flow = static_cast<tcp::FlowId>(n % flows);
+            offsets[flow] += 16;
+            tcp::TcpEvent ev;
+            ev.flow = flow;
+            ev.type = tcp::TcpEventType::userSend;
+            ev.pointer = tcp::FpuProgram::initialSequence(flow) + 1 +
+                         offsets[flow];
+            fpc.enqueueEvent(ev);
+        },
+        [&] { return fpc.inputBacklog(); });
+    sim::Tick elapsed = sim.now() - start;
+    return (fpc.eventsHandled() - before) /
+           sim::ticksToSeconds(elapsed) / 1e6;
+}
+
+double
+measureBaseline(unsigned latency)
+{
+    sim::Simulation sim;
+    tcp::NewRenoPolicy cc;
+    tcp::FpuProgram program(cc);
+    baseline::StallingEngineConfig config;
+    config.fpuLatency = latency;
+    baseline::StallingEngine engine(sim, "baseline", sim.netClock(),
+                                    program, config);
+    constexpr std::size_t flows = 16;
+    std::vector<tcp::FlowId> ids;
+    std::vector<std::uint32_t> offsets(flows, 0);
+    for (std::size_t i = 0; i < flows; ++i)
+        ids.push_back(engine.createSyntheticFlow());
+
+    sim::Tick window = sim::microsecondsToTicks(40);
+    std::uint64_t before = engine.eventsProcessed();
+    sim::Tick start = sim.now();
+    drive(
+        sim, window,
+        [&](std::uint64_t n) {
+            std::size_t i = n % flows;
+            offsets[i] += 16;
+            tcp::TcpEvent ev;
+            ev.flow = ids[i];
+            ev.type = tcp::TcpEventType::userSend;
+            ev.pointer = tcp::FpuProgram::initialSequence(ids[i]) + 1 +
+                         offsets[i];
+            engine.injectEvent(ev);
+        },
+        [&] { return engine.backlog(); });
+    sim::Tick elapsed = sim.now() - start;
+    return (engine.eventsProcessed() - before) /
+           sim::ticksToSeconds(elapsed) / 1e6;
+}
+
+} // namespace
+} // namespace f4t
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 15",
+                  "event processing rate vs FPU processing latency");
+
+    bench::Table table({"latency (cycles)", "Baseline (Mev/s)",
+                        "Baseline expected 322/(16+L)", "F4T (Mev/s)",
+                        "F4T expected 125"});
+    for (unsigned latency : {1u, 10u, 14u, 20u, 41u, 60u, 68u, 80u, 100u}) {
+        double base = measureBaseline(latency);
+        double f4t_rate = measureF4t(latency);
+        table.addRow({std::to_string(latency), bench::fmt("%.1f", base),
+                      bench::fmt("%.1f", 322.0 / (16 + latency)),
+                      bench::fmt("%.1f", f4t_rate), "125.0"});
+    }
+    table.print();
+
+    std::printf(
+        "\nShape check (paper): the baseline's rate collapses as the\n"
+        "algorithm gets longer, while F4T stays flat at 125 M events/s\n"
+        "per FPC — NewReno (14), CUBIC (41), and Vegas (68) all run at\n"
+        "the same maximum rate.\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Figure 16b: header processing rate of F4T's intermediate designs,
+ * without payload transfer and without a link bottleneck (Section 6).
+ *
+ *  - Baseline: the 17-cycle w-RMW stalling design;
+ *  - 1FPC: one flow processing core, no coalescing;
+ *  - 1FPC-C: one FPC plus scheduler event coalescing;
+ *  - F4T: eight FPCs plus coalescing.
+ *
+ * Two request patterns, as in the paper: bulk (all requests on one
+ * flow) and round-robin (requests rotate over 64 flows). Injection is
+ * capped at the PCIe command ceiling (16 B commands over the ~13.5
+ * GB/s effective link), which is what bounded the paper's measurement
+ * with 24 cores.
+ */
+
+#include "baseline/stalling_engine.hh"
+#include "bench_util.hh"
+#include "core/engine.hh"
+#include "sim/simulation.hh"
+
+namespace f4t
+{
+namespace
+{
+
+constexpr double pcieCommandRate = 13.5e9 / 16.0; // commands/s
+
+struct Workload
+{
+    bool roundRobin;
+    std::size_t flows;
+};
+
+/** Measure requests/s through a full FtEngine configuration. */
+double
+measureEngine(std::size_t num_fpcs, bool coalescing,
+              const Workload &workload)
+{
+    sim::Simulation sim;
+    core::EngineConfig config;
+    config.numFpcs = num_fpcs;
+    // Hold total SRAM capacity at the reference 1024 flows across all
+    // designs so the ablation isolates the processing architecture.
+    config.flowsPerFpc = 1024 / num_fpcs;
+    config.maxFlows = 4096;
+    config.payloadDma = false; // header-only
+    config.coalescingEnabled = coalescing;
+    core::FtEngine engine(sim, "engine", config);
+    engine.setTransmit([](net::Packet &&) {});
+
+    std::vector<tcp::FlowId> flows;
+    std::vector<std::uint32_t> offsets(workload.flows, 0);
+    for (std::size_t i = 0; i < workload.flows; ++i) {
+        flows.push_back(engine.createSyntheticFlow());
+        // Stagger so every flow lands in FPC SRAM through the
+        // swap-in port (one install per two cycles per FPC).
+        sim.runFor(sim.engineClock().period() * 2);
+    }
+    sim.runFor(sim::microsecondsToTicks(10));
+
+    // Injection paced at the PCIe command rate, with backpressure from
+    // the scheduler's FIFOs (bounded backlog models the ring depth).
+    sim::Tick window = sim::microsecondsToTicks(60);
+    sim::Tick start = sim.now();
+    sim::Tick end = start + window;
+    double credit = 0;
+    std::uint64_t injected = 0;
+    sim::Tick step = sim.engineClock().period() * 8;
+    std::size_t next_flow = 0;
+
+    auto absorbed = [&] {
+        std::uint64_t n = engine.scheduler().eventsCoalesced() +
+                          engine.memoryManager().eventsHandled();
+        for (std::size_t i = 0; i < num_fpcs; ++i)
+            n += engine.fpc(i).eventsHandled();
+        return n;
+    };
+    std::uint64_t absorbed_before = absorbed();
+
+    while (sim.now() < end) {
+        credit += pcieCommandRate * sim::ticksToSeconds(step);
+        std::uint64_t backlog_cap = 256;
+        while (credit >= 1.0) {
+            // Model the 1024-deep command rings: stop injecting when
+            // the engine is this far behind.
+            std::uint64_t processed = absorbed() - absorbed_before;
+            if (injected > processed + backlog_cap)
+                break;
+            std::size_t i = workload.roundRobin
+                                ? (next_flow++ % workload.flows)
+                                : 0;
+            offsets[i] += 8;
+            tcp::TcpEvent ev;
+            ev.flow = flows[i];
+            ev.type = tcp::TcpEventType::userSend;
+            ev.pointer = core::FtEngine::txStart(flows[i]) + offsets[i];
+            engine.injectEvent(ev);
+            ++injected;
+            credit -= 1.0;
+        }
+        if (credit > 64)
+            credit = 64; // cap the burst size
+        sim.runFor(step);
+    }
+
+    // Requests absorbed = events handled (FPCs + memory manager) plus
+    // events folded away by coalescing (each fold absorbed a request).
+    return (absorbed() - absorbed_before) / sim::ticksToSeconds(window);
+}
+
+double
+measureBaseline(const Workload &workload)
+{
+    sim::Simulation sim;
+    tcp::NewRenoPolicy cc;
+    tcp::FpuProgram program(cc);
+    baseline::StallingEngineConfig config;
+    baseline::StallingEngine engine(sim, "baseline", sim.netClock(),
+                                    program, config);
+
+    std::vector<tcp::FlowId> flows;
+    std::vector<std::uint32_t> offsets(workload.flows, 0);
+    for (std::size_t i = 0; i < workload.flows; ++i)
+        flows.push_back(engine.createSyntheticFlow());
+
+    sim::Tick window = sim::microsecondsToTicks(60);
+    sim::Tick end = sim.now() + window;
+    std::uint64_t before = engine.eventsProcessed();
+    std::size_t next_flow = 0;
+    while (sim.now() < end) {
+        while (engine.backlog() < 64) {
+            std::size_t i = workload.roundRobin
+                                ? (next_flow++ % workload.flows)
+                                : 0;
+            offsets[i] += 8;
+            tcp::TcpEvent ev;
+            ev.flow = flows[i];
+            ev.type = tcp::TcpEventType::userSend;
+            ev.pointer = tcp::FpuProgram::initialSequence(flows[i]) + 1 +
+                         offsets[i];
+            engine.injectEvent(ev);
+        }
+        sim.runFor(sim.netClock().period() * 32);
+    }
+    return (engine.eventsProcessed() - before) /
+           sim::ticksToSeconds(window);
+}
+
+} // namespace
+} // namespace f4t
+
+int
+main()
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+
+    bench::banner("Figure 16b",
+                  "header processing rate of intermediate designs");
+
+    for (bool rr : {false, true}) {
+        // Round-robin: 16 flows per core on 24 cores = 384 distinct
+        // flows interleaving in the command stream (Section 6).
+        Workload workload{rr, rr ? 384u : 1u};
+        const char *label = rr ? "round-robin requests"
+                               : "bulk data transfer";
+        double base = measureBaseline(workload);
+        double fpc1 = measureEngine(1, false, workload);
+        double fpc1c = measureEngine(1, true, workload);
+        double f4t_full = measureEngine(8, true, workload);
+
+        std::printf("\n%s:\n", label);
+        bench::Table table({"design", "Mrps", "speedup vs Baseline",
+                            "paper speedup"});
+        table.addRow({"Baseline", bench::fmt("%.1f", base / 1e6), "1.0x",
+                      "1.0x"});
+        table.addRow({"1FPC", bench::fmt("%.1f", fpc1 / 1e6),
+                      bench::fmt("%.1fx", fpc1 / base),
+                      rr ? "8.4x" : "8.6x"});
+        table.addRow({"1FPC-C", bench::fmt("%.1f", fpc1c / 1e6),
+                      bench::fmt("%.1fx", fpc1c / base),
+                      rr ? "8.6x" : "62.3x"});
+        table.addRow({"F4T", bench::fmt("%.1f", f4t_full / 1e6),
+                      bench::fmt("%.1fx", f4t_full / base),
+                      rr ? "71.3x" : "63.1x"});
+        table.print();
+    }
+
+    std::printf(
+        "\nShape check (paper): removing RMW stalls (1FPC) buys ~8.5x;\n"
+        "coalescing multiplies same-flow throughput but does little for\n"
+        "round-robin; parallel FPCs recover the multi-flow case. The\n"
+        "ceiling is the PCIe command rate (~844 M commands/s at 16 B).\n");
+    return 0;
+}

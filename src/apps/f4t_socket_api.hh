@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SocketApi adapter over the F4T library (one per application thread).
+ */
+
+#ifndef F4T_APPS_F4T_SOCKET_API_HH
+#define F4T_APPS_F4T_SOCKET_API_HH
+
+#include "apps/socket_api.hh"
+#include "f4t/library.hh"
+
+namespace f4t::apps
+{
+
+class F4tSocketApi : public SocketApi
+{
+  public:
+    F4tSocketApi(sim::Simulation &sim, lib::F4tRuntime &runtime,
+                 std::size_t queue, host::CpuCore &core)
+        : sim_(sim), library_(runtime, queue, core)
+    {}
+
+    void
+    setHandlers(const Handlers &handlers) override
+    {
+        lib::F4tCallbacks callbacks;
+        callbacks.onConnected = handlers.onConnected;
+        callbacks.onAccepted = handlers.onAccepted;
+        callbacks.onWritable = handlers.onWritable;
+        callbacks.onReadable = handlers.onReadable;
+        callbacks.onPeerClosed = handlers.onPeerClosed;
+        callbacks.onClosed = handlers.onClosed;
+        callbacks.onReset = handlers.onReset;
+        library_.setCallbacks(callbacks);
+    }
+
+    void listen(std::uint16_t port) override { library_.listen(port); }
+
+    ConnId
+    connect(net::Ipv4Address ip, std::uint16_t port) override
+    {
+        return library_.connect(ip, port);
+    }
+
+    std::size_t
+    send(ConnId conn, std::span<const std::uint8_t> data) override
+    {
+        return library_.send(conn, data);
+    }
+
+    std::size_t
+    recv(ConnId conn, std::span<std::uint8_t> out) override
+    {
+        return library_.recv(conn, out);
+    }
+
+    std::size_t readable(ConnId conn) override
+    {
+        return library_.readable(conn);
+    }
+    std::size_t writable(ConnId conn) override
+    {
+        return library_.writable(conn);
+    }
+    void close(ConnId conn) override { library_.close(conn); }
+
+    host::CpuCore &core() override { return library_.core(); }
+    sim::Simulation &simulation() override { return sim_; }
+
+    lib::F4tLibrary &library() { return library_; }
+
+  private:
+    sim::Simulation &sim_;
+    lib::F4tLibrary library_;
+};
+
+} // namespace f4t::apps
+
+#endif // F4T_APPS_F4T_SOCKET_API_HH

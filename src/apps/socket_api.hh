@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SocketApi: the socket abstraction every application model is
+ * written against.
+ *
+ * The paper's applications (iPerf, Nginx, wrk, the echo benchmark) run
+ * unmodified on F4T because the library overrides the POSIX socket
+ * API. The reproduction mirrors that property: each app is written
+ * once against this interface and runs on both the F4T stack
+ * (F4tSocketApi) and the Linux baseline (LinuxSocketApi).
+ */
+
+#ifndef F4T_APPS_SOCKET_API_HH
+#define F4T_APPS_SOCKET_API_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "host/cpu.hh"
+#include "net/headers.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::apps
+{
+
+class SocketApi
+{
+  public:
+    using ConnId = int;
+    static constexpr ConnId invalidConn = -1;
+
+    struct Handlers
+    {
+        std::function<void(ConnId)> onConnected;
+        std::function<void(ConnId, std::uint16_t port)> onAccepted;
+        std::function<void(ConnId)> onWritable;
+        std::function<void(ConnId, std::size_t readable)> onReadable;
+        std::function<void(ConnId)> onPeerClosed;
+        std::function<void(ConnId)> onClosed;
+        std::function<void(ConnId)> onReset;
+    };
+
+    virtual ~SocketApi() = default;
+
+    virtual void setHandlers(const Handlers &handlers) = 0;
+
+    virtual void listen(std::uint16_t port) = 0;
+    virtual ConnId connect(net::Ipv4Address ip, std::uint16_t port) = 0;
+    virtual std::size_t send(ConnId conn,
+                             std::span<const std::uint8_t> data) = 0;
+    virtual std::size_t recv(ConnId conn, std::span<std::uint8_t> out) = 0;
+    virtual std::size_t readable(ConnId conn) = 0;
+    virtual std::size_t writable(ConnId conn) = 0;
+    virtual void close(ConnId conn) = 0;
+
+    /** The CPU core this thread runs on (apps charge cycles here). */
+    virtual host::CpuCore &core() = 0;
+    virtual sim::Simulation &simulation() = 0;
+};
+
+} // namespace f4t::apps
+
+#endif // F4T_APPS_SOCKET_API_HH

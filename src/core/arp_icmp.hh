@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ARP (RFC 826) and ICMP echo (RFC 792) support modules
+ * (Section 4.1.2): MAC resolution and ping diagnostics.
+ */
+
+#ifndef F4T_CORE_ARP_ICMP_HH
+#define F4T_CORE_ARP_ICMP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/packet.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::core
+{
+
+class ArpModule : public sim::SimObject
+{
+  public:
+    using Transmit = std::function<void(net::Packet &&)>;
+
+    ArpModule(sim::Simulation &sim, std::string name, net::Ipv4Address ip,
+              net::MacAddress mac)
+        : SimObject(sim, std::move(name)), ip_(ip), mac_(mac),
+          requestsAnswered_(sim.stats(), statName("requestsAnswered"),
+                            "ARP requests answered"),
+          repliesLearned_(sim.stats(), statName("repliesLearned"),
+                          "ARP replies cached")
+    {}
+
+    void setTransmit(Transmit fn) { transmit_ = std::move(fn); }
+
+    /** Static entry (the directly cabled testbed peers). */
+    void
+    addStaticEntry(net::Ipv4Address ip, net::MacAddress mac)
+    {
+        table_[ip.value] = mac;
+    }
+
+    std::optional<net::MacAddress>
+    resolve(net::Ipv4Address ip) const
+    {
+        auto it = table_.find(ip.value);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Send an ARP request for @p ip. */
+    void
+    sendRequest(net::Ipv4Address ip)
+    {
+        net::Packet pkt;
+        pkt.eth.src = mac_;
+        pkt.eth.dst = net::MacAddress::broadcast();
+        pkt.eth.etherType = net::EthernetHeader::typeArp;
+        net::ArpMessage msg;
+        msg.opcode = net::ArpMessage::opRequest;
+        msg.senderMac = mac_;
+        msg.senderIp = ip_;
+        msg.targetIp = ip;
+        pkt.l4 = msg;
+        if (transmit_)
+            transmit_(std::move(pkt));
+    }
+
+    /** Handle a received ARP packet (request or reply). */
+    void
+    processPacket(const net::Packet &pkt)
+    {
+        const net::ArpMessage &msg = pkt.arp();
+        // Learn the sender either way.
+        table_[msg.senderIp.value] = msg.senderMac;
+        if (msg.opcode == net::ArpMessage::opReply) {
+            ++repliesLearned_;
+            return;
+        }
+        if (msg.targetIp != ip_)
+            return;
+
+        ++requestsAnswered_;
+        net::Packet reply;
+        reply.eth.src = mac_;
+        reply.eth.dst = msg.senderMac;
+        reply.eth.etherType = net::EthernetHeader::typeArp;
+        net::ArpMessage answer;
+        answer.opcode = net::ArpMessage::opReply;
+        answer.senderMac = mac_;
+        answer.senderIp = ip_;
+        answer.targetMac = msg.senderMac;
+        answer.targetIp = msg.senderIp;
+        reply.l4 = answer;
+        if (transmit_)
+            transmit_(std::move(reply));
+    }
+
+  private:
+    net::Ipv4Address ip_;
+    net::MacAddress mac_;
+    Transmit transmit_;
+    std::map<std::uint32_t, net::MacAddress> table_;
+
+    sim::Counter requestsAnswered_;
+    sim::Counter repliesLearned_;
+};
+
+class IcmpModule : public sim::SimObject
+{
+  public:
+    using Transmit = std::function<void(net::Packet &&)>;
+
+    IcmpModule(sim::Simulation &sim, std::string name, net::Ipv4Address ip,
+               net::MacAddress mac)
+        : SimObject(sim, std::move(name)), ip_(ip), mac_(mac),
+          echoesAnswered_(sim.stats(), statName("echoesAnswered"),
+                          "ICMP echo requests answered")
+    {}
+
+    void setTransmit(Transmit fn) { transmit_ = std::move(fn); }
+
+    /** Answer echo requests addressed to this endpoint. */
+    void
+    processPacket(const net::Packet &pkt)
+    {
+        const net::IcmpMessage &msg = pkt.icmp();
+        if (msg.type != net::IcmpMessage::typeEchoRequest || !pkt.ip ||
+            pkt.ip->dst != ip_) {
+            return;
+        }
+
+        ++echoesAnswered_;
+        net::Packet reply;
+        reply.eth.src = mac_;
+        reply.eth.dst = pkt.eth.src;
+        reply.eth.etherType = net::EthernetHeader::typeIpv4;
+        net::Ipv4Header ip_header;
+        ip_header.src = ip_;
+        ip_header.dst = pkt.ip->src;
+        ip_header.protocol = net::Ipv4Header::protoIcmp;
+        reply.ip = ip_header;
+        net::IcmpMessage answer = msg;
+        answer.type = net::IcmpMessage::typeEchoReply;
+        reply.l4 = answer;
+        if (transmit_)
+            transmit_(std::move(reply));
+    }
+
+  private:
+    net::Ipv4Address ip_;
+    net::MacAddress mac_;
+    Transmit transmit_;
+
+    sim::Counter echoesAnswered_;
+};
+
+} // namespace f4t::core
+
+#endif // F4T_CORE_ARP_ICMP_HH

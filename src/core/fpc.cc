@@ -1,0 +1,265 @@
+#include "fpc.hh"
+
+namespace f4t::core
+{
+
+using tcp::EventFlags;
+using tcp::EventValid;
+
+Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
+         const tcp::FpuProgram &program, const FpcConfig &config)
+    : ClockedObject(sim, std::move(name), domain), program_(program),
+      config_(config),
+      fpuLatency_(config.fpuLatencyOverride ? config.fpuLatencyOverride
+                                            : program.latencyCycles()),
+      slots_(config.slots), tcbTable_(config.slots),
+      eventTable_(config.slots), cam_(config.slots),
+      eventsHandled_(sim.stats(), statName("eventsHandled"),
+                     "events absorbed by the event handler"),
+      fpuPasses_(sim.stats(), statName("fpuPasses"),
+                 "TCBs issued through the FPU"),
+      evictions_(sim.stats(), statName("evictions"),
+                 "TCBs evicted toward DRAM"),
+      swapIns_(sim.stats(), statName("swapIns"), "TCBs accepted from DRAM"),
+      dupAckIncrements_(sim.stats(), statName("dupAckIncrements"),
+                        "single-cycle duplicate-ACK RMW operations")
+{
+    f4t_assert(config_.slots > 0, "FPC needs at least one slot");
+}
+
+void
+Fpc::enqueueEvent(const tcp::TcpEvent &event)
+{
+    f4t_assert(canAcceptEvent(), "%s: event enqueued past backpressure",
+               name().c_str());
+    f4t_assert(cam_.contains(event.flow),
+               "%s: event for non-resident flow %u", name().c_str(),
+               event.flow);
+    inputFifo_.push_back(event);
+    activate();
+}
+
+bool
+Fpc::canAcceptTcb() const
+{
+    if (cam_.full())
+        return false;
+    // Dedicated write port: one swap-in per two-cycle window.
+    return !installUsedThisWindow_ ||
+           curCycle() >= lastInstallCycle_ + 2;
+}
+
+void
+Fpc::installTcb(const MigratingTcb &incoming)
+{
+    f4t_assert(canAcceptTcb(), "%s: swap-in past backpressure",
+               name().c_str());
+    std::size_t slot_index = cam_.insert(incoming.tcb.flowId);
+    Slot &slot = slots_[slot_index];
+    slot.occupied = true;
+    slot.inFpu = false;
+    slot.evictFlag = false;
+    slot.flow = incoming.tcb.flowId;
+    slot.lastActiveCycle = curCycle();
+    tcbTable_.peekMutable(slot_index) = incoming.tcb;
+    eventTable_.peekMutable(slot_index) = incoming.events;
+    lastInstallCycle_ = curCycle();
+    installUsedThisWindow_ = true;
+    ++swapIns_;
+    activate();
+}
+
+void
+Fpc::requestEvict(tcp::FlowId flow)
+{
+    std::size_t slot_index = cam_.lookup(flow);
+    slots_[slot_index].evictFlag = true;
+    activate();
+}
+
+std::optional<tcp::FlowId>
+Fpc::coldestFlow() const
+{
+    std::optional<tcp::FlowId> coldest;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (const Slot &slot : slots_) {
+        if (!slot.occupied || slot.inFpu || slot.evictFlag)
+            continue;
+        if (slot.lastActiveCycle < best) {
+            best = slot.lastActiveCycle;
+            coldest = slot.flow;
+        }
+    }
+    return coldest;
+}
+
+void
+Fpc::releaseFlow(tcp::FlowId flow)
+{
+    std::size_t slot_index = cam_.lookup(flow);
+    Slot &slot = slots_[slot_index];
+    f4t_assert(!slot.inFpu, "%s: releasing flow %u while in the FPU",
+               name().c_str(), flow);
+    slot = Slot{};
+    eventTable_.peekMutable(slot_index).clear();
+    cam_.erase(flow);
+}
+
+tcp::Tcb
+Fpc::peekMergedTcb(tcp::FlowId flow) const
+{
+    std::size_t slot_index = cam_.lookup(flow);
+    return tcp::merge(tcbTable_.peek(slot_index),
+                      eventTable_.peek(slot_index));
+}
+
+bool
+Fpc::slotEligible(const Slot &slot, std::size_t index) const
+{
+    if (!slot.occupied || slot.inFpu)
+        return false;
+    if (slot.evictFlag)
+        return true;
+    if (eventTable_.peek(index).validMask != 0)
+        return true;
+    return tcbTable_.peek(index).workPending;
+}
+
+bool
+Fpc::fifoHoldsFlow(tcp::FlowId flow) const
+{
+    for (const tcp::TcpEvent &ev : inputFifo_) {
+        if (ev.flow == flow)
+            return true;
+    }
+    return false;
+}
+
+bool
+Fpc::tick()
+{
+    sim::Cycles cycle = curCycle();
+    tcbTable_.newCycle(cycle);
+    eventTable_.newCycle(cycle);
+    if (cycle >= lastInstallCycle_ + 2)
+        installUsedThisWindow_ = false;
+
+    const bool even_phase = (cycle & 1) == 0;
+
+    if (even_phase) {
+        // Solid cycle: the event handler absorbs one event.
+        if (!inputFifo_.empty()) {
+            tcp::TcpEvent event = inputFifo_.front();
+            inputFifo_.pop_front();
+            handleEvent(event);
+        }
+    } else {
+        // Dotted cycle: FPU write-back, then the TCB manager examines
+        // the next round-robin slot and issues it if it has work.
+        if (!fpuPipe_.empty() && fpuPipe_.front().readyCycle <= cycle) {
+            FpuJob job = std::move(fpuPipe_.front());
+            fpuPipe_.pop_front();
+            writeback(job);
+        }
+
+        std::size_t index = rrIndex_;
+        rrIndex_ = (rrIndex_ + 1) % slots_.size();
+        if (slotEligible(slots_[index], index))
+            issueSlot(index);
+    }
+
+    // Stay active while any work remains; otherwise deschedule.
+    if (!inputFifo_.empty() || !fpuPipe_.empty()) {
+        idleScanCountdown_ = 0;
+        return true;
+    }
+    // The eligibility scan is O(slots) and only decides whether the
+    // model may sleep; throttle it so a busy FPC does not pay it on
+    // every cycle (pure simulator optimization, no timing effect —
+    // the FPC merely stays awake a few extra cycles).
+    if (idleScanCountdown_ > 0) {
+        --idleScanCountdown_;
+        return true;
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slotEligible(slots_[i], i)) {
+            idleScanCountdown_ = 16;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Fpc::handleEvent(const tcp::TcpEvent &event)
+{
+    ++eventsHandled_;
+    std::size_t index = cam_.lookup(event.flow);
+    Slot &slot = slots_[index];
+    slot.lastActiveCycle = curCycle();
+
+    tcp::EventRecord record = eventTable_.read(index);
+    // The handler reads both memories every cycle for its merged view
+    // (needed for single-cycle duplicate-ACK detection).
+    const tcp::Tcb &stored = tcbTable_.read(index);
+    if (tcp::accumulateEvent(record, stored, event))
+        ++dupAckIncrements_;
+    eventTable_.write(index, record);
+}
+
+void
+Fpc::issueSlot(std::size_t index)
+{
+    Slot &slot = slots_[index];
+    tcp::Tcb merged = tcp::merge(tcbTable_.read(index),
+                                 eventTable_.read(index));
+    // Clearing the valid bits is the event table's write this cycle.
+    tcp::EventRecord cleared;
+    eventTable_.peekMutable(index) = cleared;
+
+    slot.inFpu = true;
+    ++fpuPasses_;
+    fpuPipe_.push_back(FpuJob{curCycle() + fpuLatency_, index, slot.flow,
+                              std::move(merged)});
+}
+
+void
+Fpc::writeback(FpuJob &job)
+{
+    Slot &slot = slots_[job.slotIndex];
+    f4t_assert(slot.occupied && slot.flow == job.flow,
+               "%s: write-back to a recycled slot", name().c_str());
+
+    tcp::FpuActions actions;
+    program_.process(job.merged, nowUs(), actions);
+
+    slot.inFpu = false;
+    slot.lastActiveCycle = curCycle();
+
+    if (actions.releaseFlow) {
+        // Connection finished: recycle the slot.
+        eventTable_.peekMutable(job.slotIndex).clear();
+        cam_.erase(slot.flow);
+        slot = Slot{};
+    } else if (slot.evictFlag && !fifoHoldsFlow(job.flow)) {
+        // Evict checker: forward the processed TCB toward DRAM without
+        // consuming a table write port. Events that accumulated since
+        // the pass started travel with it.
+        MigratingTcb leaving;
+        leaving.tcb = job.merged;
+        leaving.events = eventTable_.peek(job.slotIndex);
+        eventTable_.peekMutable(job.slotIndex).clear();
+        cam_.erase(slot.flow);
+        slot = Slot{};
+        ++evictions_;
+        if (evictSink_)
+            evictSink_(std::move(leaving));
+    } else {
+        tcbTable_.write(job.slotIndex, job.merged);
+    }
+
+    if (actionSink_ && !actions.empty())
+        actionSink_(job.flow, std::move(actions));
+}
+
+} // namespace f4t::core

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * FPC: the Flow Processing Core (paper Section 4.2, Figure 4).
+ *
+ * Composition of the event handler, the dual memory (TCB table +
+ * event table with per-field valid bits), the round-robin TCB
+ * manager, the fully pipelined FPU, the evict checker, and the
+ * flow-ID CAM.
+ *
+ * Timing model (250 MHz): the two BRAMs each expose two ports and the
+ * accesses are scheduled in a two-cycle pattern exactly as in
+ * Section 4.2.3:
+ *
+ *  - even cycle ("solid"): the TCB table accepts one swapped-in TCB;
+ *    the event table stores one handled event (the event handler's
+ *    single-cycle RMW for duplicate-ACK counting shares this port
+ *    pair); both tables are read for the handler's merged view.
+ *  - odd cycle ("dotted"): the TCB table stores one FPU write-back;
+ *    the TCB manager reads both tables to construct an up-to-date TCB
+ *    for the FPU and clears the flow's valid bits.
+ *
+ * Hence one event is absorbed and one TCB issued per two cycles:
+ * 125 M events/s per FPC at 250 MHz, with no RMW stalls regardless of
+ * the FPU program's latency.
+ */
+
+#ifndef F4T_CORE_FPC_HH
+#define F4T_CORE_FPC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/bram.hh"
+#include "sim/simulation.hh"
+#include "tcp/fpu_program.hh"
+#include "tcp/tcb.hh"
+
+namespace f4t::core
+{
+
+/** A TCB in flight between an FPC and DRAM: the FPU-processed TCB
+ *  plus any events accumulated after the FPU pass started. */
+struct MigratingTcb
+{
+    tcp::Tcb tcb;
+    tcp::EventRecord events;
+};
+
+/**
+ * Content-addressable memory mapping global flow IDs to local table
+ * indices (Section 4.4.2). The hardware implements it as a comparator
+ * array + binary log; a lookup hits exactly one entry by construction
+ * (the scheduler only routes events to the FPC holding the flow),
+ * which this model asserts.
+ */
+class FlowCam
+{
+  public:
+    explicit FlowCam(std::size_t slots)
+    {
+        freeSlots_.reserve(slots);
+        for (std::size_t i = slots; i > 0; --i)
+            freeSlots_.push_back(i - 1);
+    }
+
+    bool full() const { return freeSlots_.empty(); }
+    std::size_t occupancy() const { return map_.size(); }
+
+    std::size_t
+    insert(tcp::FlowId flow)
+    {
+        f4t_assert(!full(), "CAM insert into full FPC");
+        f4t_assert(!map_.count(flow), "CAM double insert of flow %u", flow);
+        std::size_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        map_.emplace(flow, slot);
+        return slot;
+    }
+
+    void
+    erase(tcp::FlowId flow)
+    {
+        auto it = map_.find(flow);
+        f4t_assert(it != map_.end(), "CAM erase of absent flow %u", flow);
+        freeSlots_.push_back(it->second);
+        map_.erase(it);
+    }
+
+    /** The single matching entry; asserts the hit exists. */
+    std::size_t
+    lookup(tcp::FlowId flow) const
+    {
+        auto it = map_.find(flow);
+        f4t_assert(it != map_.end(), "CAM miss for flow %u — the "
+                   "scheduler routed an event to the wrong FPC", flow);
+        return it->second;
+    }
+
+    bool contains(tcp::FlowId flow) const { return map_.count(flow) != 0; }
+
+  private:
+    std::unordered_map<tcp::FlowId, std::size_t> map_;
+    std::vector<std::size_t> freeSlots_;
+};
+
+struct FpcConfig
+{
+    std::size_t slots = 128;
+    std::size_t inputFifoDepth = 16;
+    /** Override the FPU program's pipeline latency (0 = use program). */
+    unsigned fpuLatencyOverride = 0;
+};
+
+class Fpc : public sim::ClockedObject
+{
+  public:
+    /** Called at FPU write-back with the actions of the pass. */
+    using ActionSink =
+        std::function<void(tcp::FlowId, tcp::FpuActions &&)>;
+    /** Called when an evicted TCB leaves toward DRAM / another FPC. */
+    using EvictSink = std::function<void(MigratingTcb &&)>;
+
+    Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
+        const tcp::FpuProgram &program, const FpcConfig &config);
+
+    void setActionSink(ActionSink sink) { actionSink_ = std::move(sink); }
+    void setEvictSink(EvictSink sink) { evictSink_ = std::move(sink); }
+
+    // --- scheduler-facing interface --------------------------------------
+    /** Input FIFO backpressure. */
+    bool canAcceptEvent() const { return inputFifo_.size() < config_.inputFifoDepth; }
+    void enqueueEvent(const tcp::TcpEvent &event);
+    std::size_t inputBacklog() const { return inputFifo_.size(); }
+
+    /** Dedicated swap-in write port: one TCB per two cycles. */
+    bool canAcceptTcb() const;
+    void installTcb(const MigratingTcb &incoming);
+
+    /** Mark a flow for eviction; it leaves after its next FPU pass. */
+    void requestEvict(tcp::FlowId flow);
+
+    /** The least-recently-active resident flow (eviction candidate). */
+    std::optional<tcp::FlowId> coldestFlow() const;
+
+    /** Slots currently flagged for eviction (room being made). */
+    std::size_t
+    pendingEvictions() const
+    {
+        std::size_t n = 0;
+        for (const Slot &slot : slots_)
+            n += slot.evictFlag ? 1 : 0;
+        return n;
+    }
+
+    bool hasFlow(tcp::FlowId flow) const { return cam_.contains(flow); }
+    std::size_t flowCount() const { return cam_.occupancy(); }
+    std::size_t capacity() const { return config_.slots; }
+    bool full() const { return cam_.full(); }
+
+    /** Release a flow whose connection fully closed (FPU said so). */
+    void releaseFlow(tcp::FlowId flow);
+
+    /** Read-only view of a resident merged TCB (tests/diagnostics). */
+    tcp::Tcb peekMergedTcb(tcp::FlowId flow) const;
+
+    const tcp::FpuProgram &program() const { return program_; }
+    unsigned fpuLatency() const { return fpuLatency_; }
+
+    // --- statistics -----------------------------------------------------------
+    std::uint64_t eventsHandled() const { return eventsHandled_.value(); }
+    std::uint64_t fpuPasses() const { return fpuPasses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+  protected:
+    bool tick() override;
+
+  private:
+    struct Slot
+    {
+        bool occupied = false;
+        bool inFpu = false;
+        bool evictFlag = false;
+        std::uint64_t lastActiveCycle = 0;
+        tcp::FlowId flow = tcp::invalidFlowId;
+    };
+
+    struct FpuJob
+    {
+        sim::Cycles readyCycle;
+        std::size_t slotIndex;
+        tcp::FlowId flow;
+        tcp::Tcb merged;
+    };
+
+    void handleEvent(const tcp::TcpEvent &event);
+    void handlerApplySegment(std::size_t slot_index,
+                             const tcp::TcpEvent &event);
+    bool slotEligible(const Slot &slot, std::size_t index) const;
+    void issueSlot(std::size_t index);
+    void writeback(FpuJob &job);
+    bool fifoHoldsFlow(tcp::FlowId flow) const;
+    std::uint64_t nowUs() const { return now() / 1'000'000; }
+
+    const tcp::FpuProgram &program_;
+    FpcConfig config_;
+    unsigned fpuLatency_;
+
+    std::deque<tcp::TcpEvent> inputFifo_;
+    std::vector<Slot> slots_;
+    mem::DualPortBram<tcp::Tcb> tcbTable_;
+    mem::DualPortBram<tcp::EventRecord> eventTable_;
+    FlowCam cam_;
+    std::deque<FpuJob> fpuPipe_;
+    std::size_t rrIndex_ = 0;
+    sim::Cycles lastInstallCycle_ = 0;
+    bool installUsedThisWindow_ = false;
+    unsigned idleScanCountdown_ = 0;
+
+    ActionSink actionSink_;
+    EvictSink evictSink_;
+
+    sim::Counter eventsHandled_;
+    sim::Counter fpuPasses_;
+    sim::Counter evictions_;
+    sim::Counter swapIns_;
+    sim::Counter dupAckIncrements_;
+};
+
+} // namespace f4t::core
+
+#endif // F4T_CORE_FPC_HH

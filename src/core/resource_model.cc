@@ -1,0 +1,135 @@
+#include "resource_model.hh"
+
+#include <cstdio>
+
+namespace f4t::core
+{
+
+namespace
+{
+
+/**
+ * Calibration. The paper gives two anchor points for the FtEngine
+ * totals (1 FPC and 8 FPCs). Solving the linear model
+ *   total(n) = base + n * perFpc
+ * for each resource type:
+ *   LUT:  base = 15.0 %, perFpc = 1.00 %
+ *   FF:   base = 10.43 %, perFpc = 0.57 %
+ *   BRAM: base = 26.3 %, perFpc = 0.71 %
+ * The base is then split across the fixed modules in proportions
+ * consistent with their complexity (the RX parser and host interface
+ * dominate logic; the memory manager's cache dominates BRAM).
+ */
+struct Share
+{
+    const char *component;
+    double lutShare;  ///< share of the fixed (non-FPC) LUT budget
+    double ffShare;
+    double bramShare;
+};
+
+constexpr Share fixedShares[] = {
+    {"Scheduler (LUT partitions, coalesce, pending)", 0.14, 0.13, 0.03},
+    {"Memory manager (TCB cache + check logic)", 0.10, 0.10, 0.42},
+    {"RX parser (cuckoo lookup, reassembly)", 0.22, 0.20, 0.22},
+    {"Packet generator (header gen, MSS split)", 0.14, 0.15, 0.05},
+    {"Host interface (queues, DMA, doorbells)", 0.17, 0.19, 0.13},
+    {"Ethernet subsystem (MAC + PHY @322 MHz)", 0.12, 0.12, 0.08},
+    {"Memory controller (HBM/DDR4)", 0.08, 0.08, 0.05},
+    {"ARP + ICMP + glue", 0.03, 0.03, 0.02},
+};
+
+constexpr double lutBasePct = 15.0;
+constexpr double lutPerFpcPct = 1.0;
+constexpr double ffBasePct = 10.43;
+constexpr double ffPerFpcPct = 0.57;
+constexpr double bramBasePct = 26.3;
+constexpr double bramPerFpcPct = 0.71;
+
+std::uint64_t
+fromPercent(double pct, std::uint64_t capacity)
+{
+    return static_cast<std::uint64_t>(pct / 100.0 *
+                                      static_cast<double>(capacity));
+}
+
+} // namespace
+
+ResourceModel::ResourceModel(std::size_t num_fpcs,
+                             std::size_t flows_per_fpc, bool hbm)
+{
+    for (const Share &share : fixedShares) {
+        ResourceUsage usage;
+        usage.component = share.component;
+        double lut_pct = lutBasePct * share.lutShare;
+        double ff_pct = ffBasePct * share.ffShare;
+        double bram_pct = bramBasePct * share.bramShare;
+        if (std::string(share.component).find("Memory controller") !=
+                std::string::npos &&
+            hbm) {
+            // The HBM controller is moderately larger than DDR4's.
+            lut_pct *= 1.3;
+            ff_pct *= 1.3;
+        }
+        usage.luts = fromPercent(lut_pct, U280Capacity::luts);
+        usage.ffs = fromPercent(ff_pct, U280Capacity::ffs);
+        usage.brams = fromPercent(bram_pct, U280Capacity::brams);
+        components_.push_back(usage);
+    }
+
+    // Per-FPC cost scales with the TCB table depth relative to the
+    // reference 128 flows (BRAM only; logic is depth-independent).
+    double depth_scale = static_cast<double>(flows_per_fpc) / 128.0;
+    for (std::size_t i = 0; i < num_fpcs; ++i) {
+        ResourceUsage usage;
+        usage.component = "FPC " + std::to_string(i) +
+                          " (handler, dual memory, FPU, CAM)";
+        usage.luts = fromPercent(lutPerFpcPct, U280Capacity::luts);
+        usage.ffs = fromPercent(ffPerFpcPct, U280Capacity::ffs);
+        usage.brams =
+            fromPercent(bramPerFpcPct * depth_scale, U280Capacity::brams);
+        components_.push_back(usage);
+    }
+}
+
+ResourceUsage
+ResourceModel::total() const
+{
+    ResourceUsage sum;
+    sum.component = "FtEngine total";
+    for (const ResourceUsage &usage : components_) {
+        sum.luts += usage.luts;
+        sum.ffs += usage.ffs;
+        sum.brams += usage.brams;
+    }
+    return sum;
+}
+
+std::string
+ResourceModel::report() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-48s %10s %8s %10s %8s %8s %7s\n",
+                  "Component", "LUTs", "LUT%", "FFs", "FF%", "BRAM",
+                  "BRAM%");
+    out += line;
+    auto append = [&](const ResourceUsage &usage) {
+        std::snprintf(line, sizeof(line),
+                      "%-48s %10llu %7.1f%% %10llu %7.1f%% %8llu %6.1f%%\n",
+                      usage.component.c_str(),
+                      static_cast<unsigned long long>(usage.luts),
+                      usage.lutPercent(),
+                      static_cast<unsigned long long>(usage.ffs),
+                      usage.ffPercent(),
+                      static_cast<unsigned long long>(usage.brams),
+                      usage.bramPercent());
+        out += line;
+    };
+    for (const ResourceUsage &usage : components_)
+        append(usage);
+    append(total());
+    return out;
+}
+
+} // namespace f4t::core

@@ -1,0 +1,420 @@
+#include "scheduler.hh"
+
+#include "core/memory_manager.hh"
+
+namespace f4t::core
+{
+
+Scheduler::Scheduler(sim::Simulation &sim, std::string name,
+                     sim::ClockDomain &domain,
+                     const SchedulerConfig &config)
+    : ClockedObject(sim, std::move(name), domain), config_(config),
+      lut_(config.maxFlows), fifos_(config.coalesceFifos),
+      eventsRouted_(sim.stats(), statName("eventsRouted"),
+                    "events delivered to FPCs or DRAM"),
+      eventsCoalesced_(sim.stats(), statName("eventsCoalesced"),
+                       "events merged in the coalesce FIFOs"),
+      eventsPended_(sim.stats(), statName("eventsPended"),
+                    "events parked while their flow was moving"),
+      migrations_(sim.stats(), statName("migrations"),
+                  "TCB migrations completed"),
+      rebalances_(sim.stats(), statName("rebalances"),
+                  "FPC-to-FPC load-balancing migrations"),
+      fifoOverflows_(sim.stats(), statName("fifoOverflows"),
+                     "events submitted past the coalesce window")
+{
+    f4t_assert(config_.coalesceFifos > 0, "need at least one FIFO");
+}
+
+void
+Scheduler::attachFpcs(std::vector<Fpc *> fpcs)
+{
+    fpcs_ = std::move(fpcs);
+    f4t_assert(!fpcs_.empty(), "%s: no FPCs attached", name().c_str());
+    f4t_assert(fpcs_.size() <= 255, "location LUT encodes FPC index in "
+               "8 bits");
+    for (Fpc *fpc : fpcs_) {
+        fpc->setEvictSink(
+            [this](MigratingTcb &&leaving) { onEvicted(std::move(leaving)); });
+    }
+}
+
+void
+Scheduler::attachMemoryManager(MemoryManager *manager)
+{
+    memoryManager_ = manager;
+}
+
+Location &
+Scheduler::lut(tcp::FlowId flow)
+{
+    f4t_assert(flow < lut_.size(), "flow %u beyond the location LUT", flow);
+    return lut_[flow];
+}
+
+const Location &
+Scheduler::lut(tcp::FlowId flow) const
+{
+    f4t_assert(flow < lut_.size(), "flow %u beyond the location LUT", flow);
+    return lut_[flow];
+}
+
+Location
+Scheduler::location(tcp::FlowId flow) const
+{
+    return lut(flow);
+}
+
+std::optional<std::size_t>
+Scheduler::leastLoadedFpc(bool require_space) const
+{
+    std::optional<std::size_t> best;
+    std::size_t best_count = ~std::size_t{0};
+    for (std::size_t i = 0; i < fpcs_.size(); ++i) {
+        if (require_space && fpcs_[i]->full())
+            continue;
+        std::size_t count = fpcs_[i]->flowCount();
+        if (count < best_count) {
+            best_count = count;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+Scheduler::allocateFlow(const MigratingTcb &initial)
+{
+    tcp::FlowId flow = initial.tcb.flowId;
+    Location &loc = lut(flow);
+    f4t_assert(loc.kind == Location::Kind::unallocated,
+               "flow %u allocated twice", flow);
+
+    auto target = leastLoadedFpc(/*require_space=*/true);
+    if (target && fpcs_[*target]->canAcceptTcb()) {
+        fpcs_[*target]->installTcb(initial);
+        loc = Location{Location::Kind::fpc,
+                       static_cast<std::uint8_t>(*target)};
+        return;
+    }
+
+    // All FPCs full (or the swap-in port busy): the flow starts in DRAM;
+    // the memory manager's check logic will swap it in when it has work.
+    f4t_assert(memoryManager_ != nullptr,
+               "%s: FPCs full and no DRAM attached", name().c_str());
+    loc = Location{Location::Kind::moving, 0};
+    MigratingTcb copy = initial;
+    memoryManager_->insertFlow(std::move(copy), [this, flow] {
+        lut(flow) = Location{Location::Kind::dram, 0};
+        ++migrations_;
+        // Work may have accumulated while the LUT said MOVING.
+        memoryManager_->recheckFlow(flow);
+    });
+}
+
+void
+Scheduler::freeFlow(tcp::FlowId flow)
+{
+    Location &loc = lut(flow);
+    switch (loc.kind) {
+      case Location::Kind::fpc:
+        // The FPC slot was already recycled by the FPU's releaseFlow.
+        break;
+      case Location::Kind::dram:
+        memoryManager_->dropFlow(flow);
+        break;
+      case Location::Kind::moving:
+      case Location::Kind::unallocated:
+        break;
+    }
+    moving_.erase(flow);
+    loc = Location{};
+}
+
+void
+Scheduler::submitEvent(const tcp::TcpEvent &event)
+{
+    f4t_assert(event.flow != tcp::invalidFlowId, "event without a flow");
+
+    std::deque<tcp::TcpEvent> &fifo =
+        fifos_[event.flow % fifos_.size()];
+
+    // Coalescing pass (Section 4.4.1): merge with an in-FIFO event of
+    // the same flow when no information is lost. Only the coalesce
+    // window (the FIFO's nominal depth) is searched, as in hardware.
+    std::size_t window =
+        config_.coalescingEnabled
+            ? (fifo.size() < config_.coalesceDepth ? fifo.size()
+                                                   : config_.coalesceDepth)
+            : 0;
+    for (std::size_t i = fifo.size() - window; i < fifo.size(); ++i) {
+        if (fifo[i].flow != event.flow)
+            continue;
+        if (tcp::TcpEvent::canCoalesce(fifo[i], event)) {
+            tcp::TcpEvent::coalesce(fifo[i], event);
+            ++eventsCoalesced_;
+            activate();
+            return;
+        }
+        break; // same flow but not mergeable: keep ordering
+    }
+
+    if (fifo.size() >= config_.coalesceDepth)
+        ++fifoOverflows_; // upstream buffering modelled as elastic
+    fifo.push_back(event);
+    activate();
+}
+
+bool
+Scheduler::routeEvent(const tcp::TcpEvent &event)
+{
+    Location &loc = lut(event.flow);
+    switch (loc.kind) {
+      case Location::Kind::fpc: {
+        Fpc *fpc = fpcs_[loc.fpcIndex];
+        if (!fpc->canAcceptEvent()) {
+            // Congestion: consider migrating this flow to the idlest
+            // FPC (Section 4.4.2) and retry the event later.
+            if (fpc->inputBacklog() >= config_.congestionThreshold &&
+                !moving_.count(event.flow) && fpcs_.size() > 1) {
+                // The idlest FPC by *input backlog* (the congestion
+                // signal), not by flow count.
+                std::optional<std::size_t> idlest;
+                std::size_t best = ~std::size_t{0};
+                for (std::size_t i = 0; i < fpcs_.size(); ++i) {
+                    if (fpcs_[i] == fpc || fpcs_[i]->full())
+                        continue;
+                    if (fpcs_[i]->inputBacklog() < best) {
+                        best = fpcs_[i]->inputBacklog();
+                        idlest = i;
+                    }
+                }
+                if (idlest && best + 2 < fpc->inputBacklog()) {
+                    ++rebalances_;
+                    startEviction(event.flow, /*to_dram=*/false,
+                                  static_cast<std::uint8_t>(*idlest));
+                }
+            }
+            return false;
+        }
+        fpc->enqueueEvent(event);
+        ++eventsRouted_;
+        return true;
+      }
+      case Location::Kind::dram:
+        if (!memoryManager_->canAcceptEvent())
+            return false;
+        memoryManager_->enqueueEvent(event);
+        ++eventsRouted_;
+        return true;
+      case Location::Kind::moving:
+        return false;
+      case Location::Kind::unallocated:
+        f4t_panic("%s: event for unallocated flow %u", name().c_str(),
+                  event.flow);
+    }
+    return false;
+}
+
+void
+Scheduler::startEviction(tcp::FlowId flow, bool to_dram,
+                         std::uint8_t dest_fpc)
+{
+    Location &loc = lut(flow);
+    f4t_assert(loc.kind == Location::Kind::fpc,
+               "evicting flow %u that is not in an FPC", flow);
+    Fpc *source = fpcs_[loc.fpcIndex];
+
+    MoveState state;
+    state.toDram = to_dram;
+    state.destFpc = dest_fpc;
+    moving_.emplace(flow, state);
+    loc = Location{Location::Kind::moving, 0};
+    source->requestEvict(flow);
+}
+
+void
+Scheduler::onEvicted(MigratingTcb &&leaving)
+{
+    tcp::FlowId flow = leaving.tcb.flowId;
+    auto it = moving_.find(flow);
+    f4t_assert(it != moving_.end(),
+               "FPC evicted flow %u without a scheduler request", flow);
+
+    if (it->second.toDram) {
+        memoryManager_->insertFlow(std::move(leaving), [this, flow] {
+            // Evict-complete signal: the LUT points at DRAM now.
+            moving_.erase(flow);
+            lut(flow) = Location{Location::Kind::dram, 0};
+            ++migrations_;
+            memoryManager_->recheckFlow(flow);
+            activate();
+        });
+    } else {
+        it->second.inTransit = std::move(leaving);
+        installReady_.push_back(flow);
+        activate();
+    }
+}
+
+bool
+Scheduler::requestSwapIn(tcp::FlowId flow)
+{
+    Location &loc = lut(flow);
+    if (loc.kind != Location::Kind::dram)
+        return false; // mid-migration; the caller retries later
+    f4t_assert(memoryManager_ != nullptr, "swap-in without DRAM");
+
+    auto target = leastLoadedFpc(/*require_space=*/true);
+    std::uint8_t dest;
+    if (target) {
+        dest = static_cast<std::uint8_t>(*target);
+    } else {
+        // Every FPC is full: make room in the least-loaded one by
+        // evicting its coldest flow to DRAM first.
+        auto any = leastLoadedFpc(/*require_space=*/false);
+        f4t_assert(any.has_value(), "no FPCs attached");
+        dest = static_cast<std::uint8_t>(*any);
+        makeRoom(*any);
+    }
+
+    MoveState state;
+    state.toDram = false;
+    state.destFpc = dest;
+    state.extractPending = true;
+    moving_.emplace(flow, state);
+    loc = Location{Location::Kind::moving, 0};
+
+    memoryManager_->extractFlow(flow, [this, flow](MigratingTcb &&tcb) {
+        onExtracted(std::move(tcb));
+    });
+    return true;
+}
+
+void
+Scheduler::makeRoom(std::size_t fpc_index)
+{
+    Fpc *fpc = fpcs_[fpc_index];
+    if (fpc->pendingEvictions() > 0)
+        return; // room is already being made
+    auto victim = fpc->coldestFlow();
+    if (!victim)
+        return; // every slot is already evicting or in the FPU
+    if (moving_.count(*victim))
+        return;
+    startEviction(*victim, /*to_dram=*/true, 0);
+}
+
+void
+Scheduler::onExtracted(MigratingTcb &&incoming)
+{
+    tcp::FlowId flow = incoming.tcb.flowId;
+    auto it = moving_.find(flow);
+    f4t_assert(it != moving_.end(), "extract completion for flow %u "
+               "that is not moving", flow);
+    it->second.extractPending = false;
+    it->second.inTransit = std::move(incoming);
+    installReady_.push_back(flow);
+    activate();
+}
+
+void
+Scheduler::progressInstalls()
+{
+    for (std::size_t i = 0; i < installReady_.size();) {
+        tcp::FlowId flow = installReady_[i];
+        auto it = moving_.find(flow);
+        f4t_assert(it != moving_.end() && it->second.inTransit,
+                   "install-ready flow %u has no TCB in transit", flow);
+        Fpc *dest = fpcs_[it->second.destFpc];
+
+        if (dest->full()) {
+            makeRoom(it->second.destFpc);
+            ++i;
+            continue;
+        }
+        if (!dest->canAcceptTcb()) {
+            ++i;
+            continue;
+        }
+        dest->installTcb(*it->second.inTransit);
+        lut(flow) = Location{Location::Kind::fpc, it->second.destFpc};
+        moving_.erase(it);
+        ++migrations_;
+        installReady_.erase(installReady_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+bool
+Scheduler::tick()
+{
+    sim::Cycles cycle = curCycle();
+
+    // Finish migrations whose TCB is waiting for the swap-in port.
+    if (!installReady_.empty())
+        progressInstalls();
+
+    // Retry pended events whose wait elapsed (12-cycle retry).
+    std::size_t pending_count = pendingQueue_.size();
+    for (std::size_t i = 0; i < pending_count; ++i) {
+        PendingEntry entry = std::move(pendingQueue_.front());
+        pendingQueue_.pop_front();
+        if (entry.retryCycle > cycle) {
+            pendingQueue_.push_back(std::move(entry));
+            continue;
+        }
+        if (!routeEvent(entry.event)) {
+            entry.retryCycle = cycle + config_.pendingRetryCycles;
+            pendingQueue_.push_back(std::move(entry));
+        }
+    }
+
+    // Route up to one event per LUT partition per cycle: the paper's
+    // provisioning is one route per two FPCs per cycle (each FPC
+    // absorbs an event every other cycle).
+    std::size_t budget = fpcs_.size() > 1 ? (fpcs_.size() + 1) / 2 : 1;
+    for (std::size_t n = 0; n < budget; ++n) {
+        // Round-robin over the coalesce FIFOs.
+        bool routed = false;
+        for (std::size_t k = 0; k < fifos_.size(); ++k) {
+            std::size_t f = (nextFifo_ + k) % fifos_.size();
+            if (fifos_[f].empty())
+                continue;
+            const tcp::TcpEvent &event = fifos_[f].front();
+            Location::Kind kind = lut(event.flow).kind;
+            // Events of a flow with older pended events must queue
+            // behind them to preserve per-flow ordering.
+            bool behind_pended = false;
+            for (const PendingEntry &pe : pendingQueue_) {
+                if (pe.event.flow == event.flow) {
+                    behind_pended = true;
+                    break;
+                }
+            }
+            if (kind == Location::Kind::moving || behind_pended) {
+                ++eventsPended_;
+                pendingQueue_.push_back(PendingEntry{
+                    event, cycle + config_.pendingRetryCycles});
+                fifos_[f].pop_front();
+                routed = true;
+            } else if (routeEvent(event)) {
+                fifos_[f].pop_front();
+                routed = true;
+            } else {
+                continue; // backpressured; try another FIFO
+            }
+            nextFifo_ = (f + 1) % fifos_.size();
+            break;
+        }
+        if (!routed)
+            break;
+    }
+
+    bool busy = !pendingQueue_.empty() || !installReady_.empty();
+    for (const auto &fifo : fifos_)
+        busy = busy || !fifo.empty();
+    return busy;
+}
+
+} // namespace f4t::core

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The scheduler: F4T's memory orchestration engine (Sections 4.3–4.4,
+ * Figure 5).
+ *
+ * Responsibilities, exactly as in the paper:
+ *  - track the up-to-date location of every flow's TCB in the
+ *    location LUT (FPC #k, DRAM, or MOVING while a migration is in
+ *    flight);
+ *  - route events to the module holding their TCB, several per cycle
+ *    (LUT partitions let one event route per FPC pair per cycle);
+ *  - coalesce events of the same flow in 4 x 16-entry FIFOs before
+ *    routing, but only when no information would be lost
+ *    (Section 4.4.1);
+ *  - park events whose flow is MOVING in the pending queue and retry
+ *    every 12 cycles — retries always terminate because migrations
+ *    complete and the LUT is updated before the mark clears;
+ *  - drive migrations: eviction of cold flows to DRAM, swap-in of
+ *    sendable flows from DRAM, and FPC-to-FPC rebalancing when one
+ *    FPC's input backpressures (Section 4.4.2);
+ *  - place new flows on the FPC with the lowest flow count.
+ */
+
+#ifndef F4T_CORE_SCHEDULER_HH
+#define F4T_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fpc.hh"
+#include "sim/simulation.hh"
+#include "tcp/tcb.hh"
+
+namespace f4t::core
+{
+
+class MemoryManager;
+
+/** Where a flow's TCB currently lives. */
+struct Location
+{
+    enum class Kind : std::uint8_t
+    {
+        unallocated,
+        fpc,
+        dram,
+        moving,
+    };
+
+    Kind kind = Kind::unallocated;
+    std::uint8_t fpcIndex = 0;
+};
+
+struct SchedulerConfig
+{
+    std::size_t maxFlows = 65536;
+    std::size_t coalesceFifos = 4;
+    std::size_t coalesceDepth = 16;
+    sim::Cycles pendingRetryCycles = 12;
+    /** Input backlog at which an FPC counts as congested. */
+    std::size_t congestionThreshold = 12;
+    /** Event coalescing (Section 4.4.1); off in the 1FPC ablation. */
+    bool coalescingEnabled = true;
+};
+
+class Scheduler : public sim::ClockedObject
+{
+  public:
+    Scheduler(sim::Simulation &sim, std::string name,
+              sim::ClockDomain &domain, const SchedulerConfig &config);
+
+    /** Wire up the FPCs; also registers this scheduler as their evict
+     *  sink. Call once at construction time. */
+    void attachFpcs(std::vector<Fpc *> fpcs);
+    void attachMemoryManager(MemoryManager *manager);
+
+    // --- flow lifecycle ----------------------------------------------------
+    /**
+     * Place a brand-new flow: the FPC with the lowest flow count, or
+     * DRAM when every FPC is full.
+     */
+    void allocateFlow(const MigratingTcb &initial);
+
+    /** Remove a closed flow from the LUT (engine recycles the ID). */
+    void freeFlow(tcp::FlowId flow);
+
+    Location location(tcp::FlowId flow) const;
+
+    // --- event input ---------------------------------------------------------
+    /** Submit an event from the host interface / RX parser / timers. */
+    void submitEvent(const tcp::TcpEvent &event);
+
+    // --- migration protocol ---------------------------------------------------
+    /**
+     * Memory manager's check logic found a sendable DRAM flow.
+     * @return false when the request cannot be taken now (the flow is
+     * mid-migration); the caller must retry when the move settles.
+     */
+    bool requestSwapIn(tcp::FlowId flow);
+
+    // --- statistics ------------------------------------------------------------
+    std::uint64_t eventsRouted() const { return eventsRouted_.value(); }
+    std::uint64_t eventsCoalesced() const { return eventsCoalesced_.value(); }
+    std::uint64_t migrations() const { return migrations_.value(); }
+    std::uint64_t rebalances() const { return rebalances_.value(); }
+
+  protected:
+    bool tick() override;
+
+  private:
+    struct MoveState
+    {
+        bool toDram = false;
+        std::uint8_t destFpc = 0;
+        /** The TCB left its source and awaits installation. */
+        std::optional<MigratingTcb> inTransit;
+        /** A DRAM extract has been issued and is in flight. */
+        bool extractPending = false;
+    };
+
+    struct PendingEntry
+    {
+        tcp::TcpEvent event;
+        sim::Cycles retryCycle;
+    };
+
+    Location &lut(tcp::FlowId flow);
+    const Location &lut(tcp::FlowId flow) const;
+
+    /** Attempt to deliver one event; false means try again later. */
+    bool routeEvent(const tcp::TcpEvent &event);
+
+    /** Start evicting @p flow from its FPC toward @p destination. */
+    void startEviction(tcp::FlowId flow, bool to_dram,
+                       std::uint8_t dest_fpc);
+
+    /** An evicted TCB arrived from an FPC. */
+    void onEvicted(MigratingTcb &&leaving);
+
+    /** A TCB extracted from DRAM is ready to install. */
+    void onExtracted(MigratingTcb &&incoming);
+
+    /** Try to finish pending installs (FPC swap-in port permitting). */
+    void progressInstalls();
+
+    /** Pick the FPC with the lowest flow count; nullopt if all full. */
+    std::optional<std::size_t> leastLoadedFpc(bool require_space) const;
+
+    /** Ensure space in @p fpc by evicting its coldest flow to DRAM. */
+    void makeRoom(std::size_t fpc_index);
+
+    SchedulerConfig config_;
+    std::vector<Fpc *> fpcs_;
+    MemoryManager *memoryManager_ = nullptr;
+
+    std::vector<Location> lut_;
+    std::vector<std::deque<tcp::TcpEvent>> fifos_;
+    std::size_t nextFifo_ = 0;
+    std::deque<PendingEntry> pendingQueue_;
+    std::unordered_map<tcp::FlowId, MoveState> moving_;
+    std::vector<tcp::FlowId> installReady_;
+
+    sim::Counter eventsRouted_;
+    sim::Counter eventsCoalesced_;
+    sim::Counter eventsPended_;
+    sim::Counter migrations_;
+    sim::Counter rebalances_;
+    sim::Counter fifoOverflows_;
+};
+
+} // namespace f4t::core
+
+#endif // F4T_CORE_SCHEDULER_HH

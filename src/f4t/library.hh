@@ -1,0 +1,159 @@
+/**
+ * @file
+ * F4T library: the socket layer applications link against
+ * (Sections 4.1.1 and 4.6).
+ *
+ * In the real system the library overrides the POSIX socket API via
+ * LD_PRELOAD, turning system calls into plain function calls that talk
+ * to FtEngine through per-thread command queues. The simulated library
+ * keeps the same structure: one instance per application thread, bound
+ * to one queue pair and one CPU core; all data moves through the
+ * hugepage TCP buffers; only a handful of window pointers live in
+ * software.
+ *
+ * The API is event-driven (callbacks for connected / readable /
+ * writable / closed) because simulated applications are state
+ * machines; an epoll-compatible shim (F4tEpoll) layers the paper's
+ * linked-list-of-events epoll() emulation on top.
+ */
+
+#ifndef F4T_LIB_LIBRARY_HH
+#define F4T_LIB_LIBRARY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "f4t/runtime.hh"
+
+namespace f4t::lib
+{
+
+/** Socket descriptor (per library instance). */
+using SockFd = int;
+constexpr SockFd invalidFd = -1;
+
+struct F4tCallbacks
+{
+    std::function<void(SockFd)> onConnected;
+    std::function<void(SockFd, std::uint16_t port)> onAccepted;
+    std::function<void(SockFd)> onWritable;
+    std::function<void(SockFd, std::size_t readable)> onReadable;
+    std::function<void(SockFd)> onPeerClosed;
+    std::function<void(SockFd)> onClosed;
+    std::function<void(SockFd)> onReset;
+};
+
+class F4tLibrary
+{
+  public:
+    /**
+     * @param runtime  shared userspace driver
+     * @param queue    this thread's queue pair index
+     * @param core     the CPU core this thread runs on
+     */
+    F4tLibrary(F4tRuntime &runtime, std::size_t queue,
+               host::CpuCore &core);
+
+    void setCallbacks(const F4tCallbacks &callbacks)
+    {
+        callbacks_ = callbacks;
+    }
+
+    host::CpuCore &core() { return core_; }
+
+    // --- socket API -------------------------------------------------------
+    /** listen() with SO_REUSEPORT: accepted flows reach this thread. */
+    void listen(std::uint16_t port);
+
+    /** Non-blocking connect(); onConnected fires when established. */
+    SockFd connect(net::Ipv4Address ip, std::uint16_t port);
+
+    /** Queue bytes; returns the count accepted (0 when full). */
+    std::size_t send(SockFd fd, std::span<const std::uint8_t> data);
+
+    /** Copy received bytes out; returns the count read. */
+    std::size_t recv(SockFd fd, std::span<std::uint8_t> out);
+
+    std::size_t readable(SockFd fd) const;
+    std::size_t writable(SockFd fd) const;
+
+    /** Graceful close. */
+    void close(SockFd fd);
+
+    bool established(SockFd fd) const;
+
+    // --- statistics -----------------------------------------------------------
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
+
+  private:
+    struct Socket
+    {
+        tcp::FlowId flow = tcp::invalidFlowId;
+        bool established = false;
+        bool peerClosed = false;
+        bool sendBlocked = false;
+        /** 64-bit stream counters (offset 0 = first payload byte). */
+        std::uint64_t ackedOffset = 0;
+        std::uint64_t receivedOffset = 0;
+        std::uint64_t consumedOffset = 0;
+    };
+
+    void handleCompletion(const host::Command &command);
+    Socket &get(SockFd fd);
+    const Socket &get(SockFd fd) const;
+    host::FlowBuffers *buffers(const Socket &sock) const;
+    std::uint64_t unwrap32(std::uint64_t reference,
+                           std::uint32_t value) const;
+
+    F4tRuntime &runtime_;
+    std::size_t queue_;
+    host::CpuCore &core_;
+    F4tCallbacks callbacks_;
+
+    std::map<SockFd, Socket> sockets_;
+    std::map<std::uint16_t, SockFd> pendingConnects_; ///< cookie -> fd
+    std::map<tcp::FlowId, SockFd> byFlow_;
+    SockFd nextFd_ = 3;
+
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesReceived_ = 0;
+};
+
+/**
+ * The paper's epoll() emulation: the library maintains an internal
+ * list of ready events and returns them to the application without
+ * touching the hardware.
+ */
+class F4tEpoll
+{
+  public:
+    struct Event
+    {
+        SockFd fd;
+        bool readable = false;
+        bool writable = false;
+        bool hangup = false;
+    };
+
+    explicit F4tEpoll(F4tLibrary &library);
+
+    /** Add a socket to the interest list. */
+    void add(SockFd fd);
+
+    /** Drain up to @p max ready events (non-blocking emulation). */
+    std::size_t wait(std::span<Event> out);
+
+  private:
+    void push(const Event &event);
+
+    F4tLibrary &library_;
+    std::map<SockFd, bool> interest_;
+    std::vector<Event> ready_;
+};
+
+} // namespace f4t::lib
+
+#endif // F4T_LIB_LIBRARY_HH

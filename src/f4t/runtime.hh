@@ -1,0 +1,83 @@
+/**
+ * @file
+ * F4T runtime: the userspace device driver (Section 4.1.1, 4.6).
+ *
+ * Maps the engine's BAR for MMIO doorbells, registers hugepages with
+ * the IOMMU for DMA (modelled by HostMemory), and owns the per-thread
+ * command queue pairs. Submission batches commands per doorbell; the
+ * completion side polls, and a thread that has polled empty for a
+ * while sleeps until the runtime wakes it on the software doorbell.
+ */
+
+#ifndef F4T_LIB_RUNTIME_HH
+#define F4T_LIB_RUNTIME_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hh"
+#include "host/command_queue.hh"
+#include "host/cost_model.hh"
+#include "host/cpu.hh"
+#include "host/host_memory.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::lib
+{
+
+class F4tRuntime : public sim::SimObject
+{
+  public:
+    using CompletionHandler = std::function<void(const host::Command &)>;
+
+    F4tRuntime(sim::Simulation &sim, std::string name,
+               core::FtEngine &engine, std::size_t num_queues);
+
+    core::FtEngine &engine() { return engine_; }
+    host::HostMemory &memory() { return memory_; }
+    std::size_t queueCount() const { return queues_.size(); }
+    host::QueuePair &queuePair(std::size_t i) { return *queues_.at(i); }
+
+    /**
+     * Push one command into queue @p q and ring the hardware doorbell.
+     * Charges the calling thread's core for the command write plus the
+     * amortized MMIO cost (Section 4.6's MMIO batching).
+     */
+    void submitCommand(std::size_t q, const host::Command &command,
+                       host::CpuCore &core);
+
+    /**
+     * Register the completion consumer of queue @p q. Completions are
+     * dispatched on @p core with the polling cost charged per command.
+     */
+    void setCompletionHandler(std::size_t q, CompletionHandler handler,
+                              host::CpuCore *core);
+
+    /** Release a closed flow's buffers. */
+    void releaseFlowMemory(tcp::FlowId flow) { memory_.release(flow); }
+
+  private:
+    void onCompletionsArrived(std::size_t q);
+    void pollQueue(std::size_t q);
+
+    core::FtEngine &engine_;
+    host::HostMemory memory_;
+    std::vector<std::unique_ptr<host::QueuePair>> queues_;
+
+    struct QueueClient
+    {
+        CompletionHandler handler;
+        host::CpuCore *core = nullptr;
+        bool pollScheduled = false;
+    };
+    std::vector<QueueClient> clients_;
+
+    sim::Counter commandsSubmitted_;
+    sim::Counter completionsDelivered_;
+};
+
+} // namespace f4t::lib
+
+#endif // F4T_LIB_RUNTIME_HH

@@ -1,0 +1,26 @@
+#include "command_queue.hh"
+
+namespace f4t::host
+{
+
+const char *
+toString(CmdOp op)
+{
+    switch (op) {
+      case CmdOp::listen: return "listen";
+      case CmdOp::connect: return "connect";
+      case CmdOp::send: return "send";
+      case CmdOp::recv: return "recv";
+      case CmdOp::close: return "close";
+      case CmdOp::connected: return "connected";
+      case CmdOp::accepted: return "accepted";
+      case CmdOp::acked: return "acked";
+      case CmdOp::received: return "received";
+      case CmdOp::peerClosed: return "peerClosed";
+      case CmdOp::closed: return "closed";
+      case CmdOp::reset: return "reset";
+    }
+    return "?";
+}
+
+} // namespace f4t::host

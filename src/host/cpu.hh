@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host CPU model: cores that serialize cycle-accounted work.
+ *
+ * Application models and stack cost models charge cycles to a core;
+ * the core's busy horizon advances accordingly and paces everything
+ * scheduled on it. Per-category cycle counters provide the CPU
+ * utilization breakdowns of Fig. 1a and Fig. 11.
+ */
+
+#ifndef F4T_HOST_CPU_HH
+#define F4T_HOST_CPU_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/cost_model.hh"
+#include "sim/simulation.hh"
+#include "tcp/soft_tcp.hh"
+
+namespace f4t::host
+{
+
+/**
+ * A single CPU core. Work is charged in cycles; runAfterCharge()
+ * sequences application steps behind all previously charged work, so
+ * a saturated core naturally becomes the throughput bottleneck.
+ */
+class CpuCore : public sim::SimObject, public tcp::CycleAccountant
+{
+  public:
+    CpuCore(sim::Simulation &sim, std::string name,
+            double frequency_hz = hostFrequencyHz);
+
+    double frequency() const { return frequencyHz_; }
+
+    /** Charge cycles in a category; extends the busy horizon. */
+    void charge(tcp::CostCategory category, double cycles) override;
+
+    /** The earliest tick at which new work could start. */
+    sim::Tick busyUntil() const { return busyUntil_; }
+
+    /** True when the busy horizon is in the past (core idle now). */
+    bool idle() const { return busyUntil_ <= now(); }
+
+    /**
+     * Charge @p cycles in @p category, then invoke @p fn when the
+     * core's busy horizon reaches that work (i.e., after all earlier
+     * charged work and this work complete).
+     */
+    void runAfterCharge(tcp::CostCategory category, double cycles,
+                        std::function<void()> fn);
+
+    /** Run @p fn as soon as the core is free (no charge). */
+    void runWhenFree(std::function<void()> fn);
+
+    /** Cycles consumed in one category since the last stats reset. */
+    double categoryCycles(tcp::CostCategory category) const;
+
+    /** Total busy cycles since the last stats reset. */
+    double totalBusyCycles() const;
+
+    /** Utilization in [0, 1] over a window of @p window_ticks. */
+    double utilization(sim::Tick window_ticks) const;
+
+  private:
+    double frequencyHz_;
+    sim::Tick busyUntil_ = 0;
+
+    static constexpr std::size_t numCategories = 5;
+    std::array<std::unique_ptr<sim::Scalar>, numCategories> cycles_;
+};
+
+/** A pool of cores (the dual-socket host). */
+class CpuComplex : public sim::SimObject
+{
+  public:
+    CpuComplex(sim::Simulation &sim, std::string name, std::size_t cores,
+               double frequency_hz = hostFrequencyHz);
+
+    std::size_t size() const { return cores_.size(); }
+    CpuCore &core(std::size_t i) { return *cores_.at(i); }
+
+    double totalBusyCycles() const;
+
+  private:
+    std::vector<std::unique_ptr<CpuCore>> cores_;
+};
+
+} // namespace f4t::host
+
+#endif // F4T_HOST_CPU_HH

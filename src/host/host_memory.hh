@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Host-side TCP data buffers living in hugepages (Section 4.1.1).
+ *
+ * The F4T library writes transmit data here and reads receive data
+ * from here; FtEngine's packet generator and RX parser DMA the same
+ * memory over PCIe. Buffers are addressed by 64-bit stream offsets
+ * (offset 0 = first payload byte after the SYN); the engine converts
+ * between wire sequence numbers and offsets.
+ */
+
+#ifndef F4T_HOST_HOST_MEMORY_HH
+#define F4T_HOST_HOST_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/byte_ring.hh"
+#include "tcp/tcb.hh"
+
+namespace f4t::host
+{
+
+struct FlowBuffers
+{
+    FlowBuffers(std::size_t tx_bytes, std::size_t rx_bytes)
+        : tx(tx_bytes), rx(rx_bytes)
+    {}
+
+    net::ByteRing tx;
+    net::ByteRing rx;
+    /** Highest receive offset the engine has written so far. */
+    std::uint64_t rxWritten = 0;
+};
+
+class HostMemory
+{
+  public:
+    explicit HostMemory(std::size_t buffer_bytes = 512 * 1024)
+        : bufferBytes_(buffer_bytes)
+    {}
+
+    std::size_t bufferBytes() const { return bufferBytes_; }
+
+    FlowBuffers &
+    ensure(tcp::FlowId flow)
+    {
+        auto it = flows_.find(flow);
+        if (it == flows_.end()) {
+            it = flows_
+                     .emplace(flow, std::make_unique<FlowBuffers>(
+                                        bufferBytes_, bufferBytes_))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    FlowBuffers *
+    find(tcp::FlowId flow)
+    {
+        auto it = flows_.find(flow);
+        return it == flows_.end() ? nullptr : it->second.get();
+    }
+
+    void release(tcp::FlowId flow) { flows_.erase(flow); }
+
+    std::size_t flowCount() const { return flows_.size(); }
+
+  private:
+    std::size_t bufferBytes_;
+    std::unordered_map<tcp::FlowId, std::unique_ptr<FlowBuffers>> flows_;
+};
+
+} // namespace f4t::host
+
+#endif // F4T_HOST_HOST_MEMORY_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A fixed-capacity ring buffer addressed by absolute stream offset.
+ *
+ * Models the TCP data buffers allocated in hugepages (Section 4.1.1):
+ * the transmit ring keeps unacknowledged bytes addressable by sequence
+ * offset for (re)transmission; the receive ring accepts out-of-order
+ * writes at their sequence offset, exactly like the RX parser's DMA.
+ */
+
+#ifndef F4T_NET_BYTE_RING_HH
+#define F4T_NET_BYTE_RING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace f4t::net
+{
+
+class ByteRing
+{
+  public:
+    explicit ByteRing(std::size_t capacity, std::uint64_t base = 0)
+        : data_(capacity), base_(base), end_(base)
+    {
+        f4t_assert(capacity > 0, "byte ring needs nonzero capacity");
+    }
+
+    std::size_t capacity() const { return data_.size(); }
+
+    /** Absolute offset of the first retained byte. */
+    std::uint64_t base() const { return base_; }
+
+    /** Absolute offset one past the last appended byte. */
+    std::uint64_t end() const { return end_; }
+
+    /** Bytes currently retained. */
+    std::size_t size() const { return static_cast<std::size_t>(end_ - base_); }
+
+    /** Bytes that can still be appended. */
+    std::size_t freeSpace() const { return capacity() - size(); }
+
+    /** Reset to an empty ring starting at @p base. */
+    void
+    rebase(std::uint64_t base)
+    {
+        base_ = base;
+        end_ = base;
+    }
+
+    /** Append up to freeSpace() bytes; returns the count accepted. */
+    std::size_t
+    append(std::span<const std::uint8_t> bytes)
+    {
+        std::size_t n = bytes.size() < freeSpace() ? bytes.size()
+                                                   : freeSpace();
+        for (std::size_t i = 0; i < n; ++i)
+            data_[(end_ + i) % capacity()] = bytes[i];
+        end_ += n;
+        return n;
+    }
+
+    /**
+     * Random-offset write within [base, base + capacity), extending
+     * end() as needed — the receive-side out-of-order DMA path. The
+     * caller guarantees the range fits the window (asserted).
+     */
+    void
+    writeAt(std::uint64_t offset, std::span<const std::uint8_t> bytes)
+    {
+        f4t_assert(offset >= base_,
+                   "ring write below base (%llu < %llu)",
+                   static_cast<unsigned long long>(offset),
+                   static_cast<unsigned long long>(base_));
+        f4t_assert(offset + bytes.size() <= base_ + capacity(),
+                   "ring write past capacity");
+        for (std::size_t i = 0; i < bytes.size(); ++i)
+            data_[(offset + i) % capacity()] = bytes[i];
+        if (offset + bytes.size() > end_)
+            end_ = offset + bytes.size();
+    }
+
+    /** Copy out [offset, offset + out.size()); must be retained. */
+    void
+    copyOut(std::uint64_t offset, std::span<std::uint8_t> out) const
+    {
+        f4t_assert(offset >= base_ && offset + out.size() <= end_,
+                   "ring read [%llu, +%zu) outside [%llu, %llu)",
+                   static_cast<unsigned long long>(offset), out.size(),
+                   static_cast<unsigned long long>(base_),
+                   static_cast<unsigned long long>(end_));
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = data_[(offset + i) % capacity()];
+    }
+
+    /** Release @p n bytes from the front (acknowledged / consumed). */
+    void
+    release(std::size_t n)
+    {
+        f4t_assert(n <= size(), "releasing %zu of %zu retained bytes", n,
+                   size());
+        base_ += n;
+    }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    std::uint64_t base_;
+    std::uint64_t end_;
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_BYTE_RING_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Internet checksum (RFC 1071) used by IPv4, TCP, and ICMP.
+ */
+
+#ifndef F4T_NET_CHECKSUM_HH
+#define F4T_NET_CHECKSUM_HH
+
+#include <cstdint>
+#include <span>
+
+namespace f4t::net
+{
+
+/**
+ * Incremental ones-complement sum accumulator. Feed byte ranges and
+ * 16-bit words (e.g., pseudo-header fields), then call finish().
+ */
+class ChecksumAccumulator
+{
+  public:
+    /** Add a 16-bit word in host order. */
+    void
+    addWord(std::uint16_t word)
+    {
+        sum_ += word;
+    }
+
+    /** Add a 32-bit value as two 16-bit words. */
+    void
+    addLong(std::uint32_t value)
+    {
+        addWord(static_cast<std::uint16_t>(value >> 16));
+        addWord(static_cast<std::uint16_t>(value & 0xffff));
+    }
+
+    /** Add a byte range, padding an odd tail byte with zero. */
+    void
+    addBytes(std::span<const std::uint8_t> bytes)
+    {
+        std::size_t i = 0;
+        for (; i + 1 < bytes.size(); i += 2) {
+            addWord(static_cast<std::uint16_t>((bytes[i] << 8) |
+                                               bytes[i + 1]));
+        }
+        if (i < bytes.size())
+            addWord(static_cast<std::uint16_t>(bytes[i] << 8));
+    }
+
+    /** Fold carries and return the ones-complement checksum. */
+    std::uint16_t
+    finish() const
+    {
+        std::uint64_t s = sum_;
+        while (s >> 16)
+            s = (s & 0xffff) + (s >> 16);
+        return static_cast<std::uint16_t>(~s & 0xffff);
+    }
+
+  private:
+    std::uint64_t sum_ = 0;
+};
+
+/** One-shot checksum over a byte range. */
+inline std::uint16_t
+internetChecksum(std::span<const std::uint8_t> bytes)
+{
+    ChecksumAccumulator acc;
+    acc.addBytes(bytes);
+    return acc.finish();
+}
+
+} // namespace f4t::net
+
+#endif // F4T_NET_CHECKSUM_HH

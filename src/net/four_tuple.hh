@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The TCP connection 4-tuple used as the RX parser's flow lookup key.
+ */
+
+#ifndef F4T_NET_FOUR_TUPLE_HH
+#define F4T_NET_FOUR_TUPLE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "net/headers.hh"
+
+namespace f4t::net
+{
+
+/** (local ip, local port, remote ip, remote port). */
+struct FourTuple
+{
+    Ipv4Address localIp;
+    std::uint16_t localPort = 0;
+    Ipv4Address remoteIp;
+    std::uint16_t remotePort = 0;
+
+    bool operator==(const FourTuple &) const = default;
+    auto operator<=>(const FourTuple &) const = default;
+
+    /** The same connection viewed from the peer. */
+    FourTuple
+    reversed() const
+    {
+        return FourTuple{remoteIp, remotePort, localIp, localPort};
+    }
+};
+
+/** Mixing hash suitable for the cuckoo table's two hash functions. */
+struct FourTupleHash
+{
+    std::size_t
+    operator()(const FourTuple &t) const
+    {
+        std::uint64_t x = (std::uint64_t{t.localIp.value} << 32) |
+                          t.remoteIp.value;
+        std::uint64_t y = (std::uint64_t{t.localPort} << 16) | t.remotePort;
+        x ^= y * 0x9e3779b97f4a7c15ULL;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+} // namespace f4t::net
+
+template <>
+struct std::hash<f4t::net::FourTuple>
+{
+    std::size_t
+    operator()(const f4t::net::FourTuple &t) const
+    {
+        return f4t::net::FourTupleHash{}(t);
+    }
+};
+
+#endif // F4T_NET_FOUR_TUPLE_HH

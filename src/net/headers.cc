@@ -1,0 +1,238 @@
+#include "headers.hh"
+
+#include <cstdio>
+
+#include "net/checksum.hh"
+
+namespace f4t::net
+{
+
+std::string
+MacAddress::toString() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4],
+                  bytes[5]);
+    return buf;
+}
+
+std::string
+Ipv4Address::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                  (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+    return buf;
+}
+
+void
+EthernetHeader::serialize(ByteWriter &w) const
+{
+    w.bytes(dst.bytes);
+    w.bytes(src.bytes);
+    w.u16(etherType);
+}
+
+EthernetHeader
+EthernetHeader::parse(ByteReader &r)
+{
+    EthernetHeader h;
+    r.bytes(h.dst.bytes);
+    r.bytes(h.src.bytes);
+    h.etherType = r.u16();
+    return h;
+}
+
+void
+ArpMessage::serialize(ByteWriter &w) const
+{
+    w.u16(1);      // hardware type: Ethernet
+    w.u16(0x0800); // protocol type: IPv4
+    w.u8(6);       // hardware address length
+    w.u8(4);       // protocol address length
+    w.u16(opcode);
+    w.bytes(senderMac.bytes);
+    w.u32(senderIp.value);
+    w.bytes(targetMac.bytes);
+    w.u32(targetIp.value);
+}
+
+ArpMessage
+ArpMessage::parse(ByteReader &r)
+{
+    ArpMessage m;
+    r.skip(6); // hardware/protocol type and lengths
+    m.opcode = r.u16();
+    r.bytes(m.senderMac.bytes);
+    m.senderIp.value = r.u32();
+    r.bytes(m.targetMac.bytes);
+    m.targetIp.value = r.u32();
+    return m;
+}
+
+std::uint16_t
+Ipv4Header::computeChecksum() const
+{
+    std::vector<std::uint8_t> raw;
+    ByteWriter w(raw);
+    Ipv4Header copy = *this;
+    copy.headerChecksum = 0;
+    copy.serializeRaw(w);
+    return internetChecksum(raw);
+}
+
+void
+Ipv4Header::serializeRaw(ByteWriter &w) const
+{
+    w.u8(0x45); // version 4, IHL 5
+    w.u8(dscp);
+    w.u16(totalLength);
+    w.u16(identification);
+    w.u16(0x4000); // flags: don't fragment; offset 0
+    w.u8(ttl);
+    w.u8(protocol);
+    w.u16(headerChecksum);
+    w.u32(src.value);
+    w.u32(dst.value);
+}
+
+void
+Ipv4Header::serialize(ByteWriter &w) const
+{
+    Ipv4Header copy = *this;
+    copy.headerChecksum = copy.computeChecksum();
+    copy.serializeRaw(w);
+}
+
+Ipv4Header
+Ipv4Header::parse(ByteReader &r)
+{
+    Ipv4Header h;
+    r.skip(1); // version / IHL (options unsupported by FtEngine)
+    h.dscp = r.u8();
+    h.totalLength = r.u16();
+    h.identification = r.u16();
+    r.skip(2); // flags / fragment offset
+    h.ttl = r.u8();
+    h.protocol = r.u8();
+    h.headerChecksum = r.u16();
+    h.src.value = r.u32();
+    h.dst.value = r.u32();
+    return h;
+}
+
+void
+IcmpMessage::serialize(ByteWriter &w) const
+{
+    std::vector<std::uint8_t> raw;
+    ByteWriter body(raw);
+    body.u8(type);
+    body.u8(code);
+    body.u16(0); // checksum placeholder
+    body.u16(identifier);
+    body.u16(sequence);
+    body.bytes(payload);
+    std::uint16_t csum = internetChecksum(raw);
+    raw[2] = static_cast<std::uint8_t>(csum >> 8);
+    raw[3] = static_cast<std::uint8_t>(csum);
+    w.bytes(raw);
+}
+
+IcmpMessage
+IcmpMessage::parse(ByteReader &r)
+{
+    IcmpMessage m;
+    m.type = r.u8();
+    m.code = r.u8();
+    r.skip(2); // checksum
+    m.identifier = r.u16();
+    m.sequence = r.u16();
+    m.payload.resize(r.remaining());
+    r.bytes(m.payload);
+    return m;
+}
+
+void
+TcpHeader::serialize(ByteWriter &w) const
+{
+    w.u16(srcPort);
+    w.u16(dstPort);
+    w.u32(seq);
+    w.u32(ack);
+    std::uint8_t data_offset_words =
+        static_cast<std::uint8_t>(wireSize() / 4);
+    w.u8(static_cast<std::uint8_t>(data_offset_words << 4));
+    w.u8(flags);
+    std::uint32_t scaled = window >> windowScaleShift;
+    w.u16(static_cast<std::uint16_t>(scaled > 0xffff ? 0xffff : scaled));
+    w.u16(checksum);
+    w.u16(urgentPointer);
+    if (mssOption) {
+        w.u8(2); // option kind: MSS
+        w.u8(4); // option length
+        w.u16(mssOption);
+    }
+}
+
+TcpHeader
+TcpHeader::parse(ByteReader &r)
+{
+    TcpHeader h;
+    h.srcPort = r.u16();
+    h.dstPort = r.u16();
+    h.seq = r.u32();
+    h.ack = r.u32();
+    std::uint8_t offset_byte = r.u8();
+    h.flags = r.u8();
+    h.window = static_cast<std::uint32_t>(r.u16()) << windowScaleShift;
+    h.checksum = r.u16();
+    h.urgentPointer = r.u16();
+
+    std::size_t header_len = static_cast<std::size_t>(offset_byte >> 4) * 4;
+    std::size_t option_len =
+        header_len > baseWireSize ? header_len - baseWireSize : 0;
+    while (option_len > 0 && r.ok()) {
+        std::uint8_t kind = r.u8();
+        --option_len;
+        if (kind == 0) { // end of options
+            r.skip(option_len);
+            break;
+        }
+        if (kind == 1) // NOP
+            continue;
+        std::uint8_t len = r.u8();
+        if (len < 2 || static_cast<std::size_t>(len) - 1 > option_len)
+            break;
+        option_len -= len - 1;
+        if (kind == 2 && len == 4) {
+            h.mssOption = r.u16();
+        } else {
+            r.skip(static_cast<std::size_t>(len) - 2);
+        }
+    }
+    return h;
+}
+
+std::uint16_t
+TcpHeader::computeChecksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> payload) const
+{
+    ChecksumAccumulator acc;
+    // Pseudo-header.
+    acc.addLong(src.value);
+    acc.addLong(dst.value);
+    acc.addWord(Ipv4Header::protoTcp);
+    acc.addWord(static_cast<std::uint16_t>(wireSize() + payload.size()));
+
+    std::vector<std::uint8_t> raw;
+    ByteWriter w(raw);
+    TcpHeader copy = *this;
+    copy.checksum = 0;
+    copy.serialize(w);
+    acc.addBytes(raw);
+    acc.addBytes(payload);
+    return acc.finish();
+}
+
+} // namespace f4t::net

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Byte-accurate protocol headers: Ethernet, ARP, IPv4, ICMP, TCP.
+ *
+ * Each header knows how to serialize itself to and parse itself from
+ * network-order bytes. The simulator normally moves parsed structures
+ * for speed, but serialization round-trips are covered by tests and are
+ * used wherever checksums must be validated.
+ */
+
+#ifndef F4T_NET_HEADERS_HH
+#define F4T_NET_HEADERS_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/seq.hh"
+
+namespace f4t::net
+{
+
+/** Writer that appends big-endian fields to a byte vector. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v >> 16));
+        u16(static_cast<std::uint16_t>(v));
+    }
+
+    void
+    bytes(std::span<const std::uint8_t> b)
+    {
+        out_.insert(out_.end(), b.begin(), b.end());
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Reader that consumes big-endian fields from a byte span. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return in_.size() - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ + 1 > in_.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return in_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t hi = u8();
+        std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>((hi << 8) | lo);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t hi = u16();
+        std::uint32_t lo = u16();
+        return (hi << 16) | lo;
+    }
+
+    void
+    bytes(std::span<std::uint8_t> out)
+    {
+        if (pos_ + out.size() > in_.size()) {
+            ok_ = false;
+            return;
+        }
+        for (auto &b : out)
+            b = in_[pos_++];
+    }
+
+    void
+    skip(std::size_t n)
+    {
+        if (pos_ + n > in_.size())
+            ok_ = false;
+        else
+            pos_ += n;
+    }
+
+  private:
+    std::span<const std::uint8_t> in_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** 48-bit Ethernet MAC address. */
+struct MacAddress
+{
+    std::array<std::uint8_t, 6> bytes{};
+
+    static MacAddress broadcast()
+    {
+        return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+    }
+
+    bool operator==(const MacAddress &) const = default;
+    bool isBroadcast() const { return *this == broadcast(); }
+
+    std::string toString() const;
+};
+
+/** IPv4 address in host order. */
+struct Ipv4Address
+{
+    std::uint32_t value = 0;
+
+    static Ipv4Address fromOctets(std::uint8_t a, std::uint8_t b,
+                                  std::uint8_t c, std::uint8_t d)
+    {
+        return Ipv4Address{(std::uint32_t{a} << 24) |
+                           (std::uint32_t{b} << 16) |
+                           (std::uint32_t{c} << 8) | d};
+    }
+
+    bool operator==(const Ipv4Address &) const = default;
+    auto operator<=>(const Ipv4Address &) const = default;
+
+    std::string toString() const;
+};
+
+/** Ethernet II frame header. */
+struct EthernetHeader
+{
+    static constexpr std::size_t wireSize = 14;
+    static constexpr std::uint16_t typeIpv4 = 0x0800;
+    static constexpr std::uint16_t typeArp = 0x0806;
+
+    MacAddress dst;
+    MacAddress src;
+    std::uint16_t etherType = typeIpv4;
+
+    void serialize(ByteWriter &w) const;
+    static EthernetHeader parse(ByteReader &r);
+
+    bool operator==(const EthernetHeader &) const = default;
+};
+
+/** ARP request/reply for IPv4-over-Ethernet (RFC 826). */
+struct ArpMessage
+{
+    static constexpr std::size_t wireSize = 28;
+    static constexpr std::uint16_t opRequest = 1;
+    static constexpr std::uint16_t opReply = 2;
+
+    std::uint16_t opcode = opRequest;
+    MacAddress senderMac;
+    Ipv4Address senderIp;
+    MacAddress targetMac;
+    Ipv4Address targetIp;
+
+    void serialize(ByteWriter &w) const;
+    static ArpMessage parse(ByteReader &r);
+
+    bool operator==(const ArpMessage &) const = default;
+};
+
+/** IPv4 header without options (RFC 791). */
+struct Ipv4Header
+{
+    static constexpr std::size_t wireSize = 20;
+    static constexpr std::uint8_t protoIcmp = 1;
+    static constexpr std::uint8_t protoTcp = 6;
+
+    std::uint8_t dscp = 0;
+    std::uint16_t totalLength = wireSize;
+    std::uint16_t identification = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = protoTcp;
+    std::uint16_t headerChecksum = 0; ///< filled by serialize()
+    Ipv4Address src;
+    Ipv4Address dst;
+
+    /** Serialize with the header checksum computed and inserted. */
+    void serialize(ByteWriter &w) const;
+
+    /** Serialize using the checksum field verbatim. */
+    void serializeRaw(ByteWriter &w) const;
+
+    static Ipv4Header parse(ByteReader &r);
+
+    /** Compute the header checksum over the serialized header. */
+    std::uint16_t computeChecksum() const;
+
+    bool operator==(const Ipv4Header &) const = default;
+};
+
+/** ICMP echo request/reply (the subset FtEngine implements). */
+struct IcmpMessage
+{
+    static constexpr std::uint8_t typeEchoReply = 0;
+    static constexpr std::uint8_t typeEchoRequest = 8;
+
+    std::uint8_t type = typeEchoRequest;
+    std::uint8_t code = 0;
+    std::uint16_t identifier = 0;
+    std::uint16_t sequence = 0;
+    std::vector<std::uint8_t> payload;
+
+    std::size_t wireSize() const { return 8 + payload.size(); }
+
+    /** Serialize with the ICMP checksum computed and inserted. */
+    void serialize(ByteWriter &w) const;
+    static IcmpMessage parse(ByteReader &r);
+
+    bool operator==(const IcmpMessage &) const = default;
+};
+
+/** TCP flag bits (RFC 793). */
+struct TcpFlags
+{
+    static constexpr std::uint8_t fin = 0x01;
+    static constexpr std::uint8_t syn = 0x02;
+    static constexpr std::uint8_t rst = 0x04;
+    static constexpr std::uint8_t psh = 0x08;
+    static constexpr std::uint8_t ack = 0x10;
+    static constexpr std::uint8_t urg = 0x20;
+};
+
+/**
+ * TCP header, with the single option FtEngine emits (MSS on SYN).
+ *
+ * The window field is kept in bytes (32-bit) and serialized with a
+ * fixed window-scale factor of 2^6, modelling the window-scale option
+ * both endpoints of the testbed negotiate (512 KB buffers do not fit
+ * the bare 16-bit field). parse() undoes the scaling, so round trips
+ * lose at most 63 bytes of granularity — exactly like real scaling.
+ */
+struct TcpHeader
+{
+    static constexpr std::size_t baseWireSize = 20;
+    static constexpr unsigned windowScaleShift = 6;
+
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    SeqNum seq = 0;
+    SeqNum ack = 0;
+    std::uint8_t flags = 0;
+    std::uint32_t window = 0;
+    std::uint16_t checksum = 0; ///< filled by serializeWithChecksum()
+    std::uint16_t urgentPointer = 0;
+    /** MSS option value; 0 means the option is absent. */
+    std::uint16_t mssOption = 0;
+
+    std::size_t wireSize() const { return baseWireSize + (mssOption ? 4 : 0); }
+
+    bool hasFlag(std::uint8_t f) const { return (flags & f) != 0; }
+
+    /** Serialize without computing the checksum (field used verbatim). */
+    void serialize(ByteWriter &w) const;
+    static TcpHeader parse(ByteReader &r);
+
+    /**
+     * Compute the TCP checksum over pseudo-header, header, and payload,
+     * as the packet generator's checksum-offload stage would.
+     */
+    std::uint16_t computeChecksum(Ipv4Address src, Ipv4Address dst,
+                                  std::span<const std::uint8_t> payload) const;
+
+    bool operator==(const TcpHeader &) const = default;
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_HEADERS_HH

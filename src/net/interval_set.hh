@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A set of disjoint half-open intervals over 64-bit stream offsets.
+ *
+ * Used for out-of-order TCP reassembly: both the FtEngine RX parser
+ * (which tracks out-of-sequence chunks logically, Section 4.1.2) and
+ * the software reference stack record which byte ranges are present
+ * and merge adjacent chunks as data arrives.
+ */
+
+#ifndef F4T_NET_INTERVAL_SET_HH
+#define F4T_NET_INTERVAL_SET_HH
+
+#include <cstdint>
+#include <map>
+
+namespace f4t::net
+{
+
+class IntervalSet
+{
+  public:
+    /** Insert [start, end); overlapping/adjacent ranges are merged. */
+    void
+    insert(std::uint64_t start, std::uint64_t end)
+    {
+        if (start >= end)
+            return;
+
+        // Find the first interval that could touch [start, end).
+        auto it = intervals_.upper_bound(start);
+        if (it != intervals_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= start) {
+                it = prev;
+            }
+        }
+        while (it != intervals_.end() && it->first <= end) {
+            start = start < it->first ? start : it->first;
+            end = end > it->second ? end : it->second;
+            it = intervals_.erase(it);
+        }
+        intervals_.emplace(start, end);
+    }
+
+    /** Remove everything below @p boundary (consumed in order). */
+    void
+    eraseBelow(std::uint64_t boundary)
+    {
+        auto it = intervals_.begin();
+        while (it != intervals_.end() && it->second <= boundary)
+            it = intervals_.erase(it);
+        if (it != intervals_.end() && it->first < boundary) {
+            std::uint64_t end = it->second;
+            intervals_.erase(it);
+            intervals_.emplace(boundary, end);
+        }
+    }
+
+    /** True when [start, end) is fully contained. */
+    bool
+    contains(std::uint64_t start, std::uint64_t end) const
+    {
+        if (start >= end)
+            return true;
+        auto it = intervals_.upper_bound(start);
+        if (it == intervals_.begin())
+            return false;
+        --it;
+        return it->first <= start && end <= it->second;
+    }
+
+    /**
+     * The contiguous boundary starting from @p from: the largest e such
+     * that [from, e) is fully present; returns @p from when the first
+     * byte is missing.
+     */
+    std::uint64_t
+    contiguousEnd(std::uint64_t from) const
+    {
+        auto it = intervals_.upper_bound(from);
+        if (it == intervals_.begin())
+            return from;
+        --it;
+        if (it->first > from || it->second <= from)
+            return from;
+        return it->second;
+    }
+
+    std::size_t chunkCount() const { return intervals_.size(); }
+    bool empty() const { return intervals_.empty(); }
+
+    void clear() { intervals_.clear(); }
+
+    /** Iteration support (ordered by start offset). */
+    auto begin() const { return intervals_.begin(); }
+    auto end() const { return intervals_.end(); }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> intervals_; ///< start -> end
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_INTERVAL_SET_HH

@@ -1,0 +1,106 @@
+#include "link.hh"
+
+namespace f4t::net
+{
+
+LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
+                             double bandwidth_bits_per_sec,
+                             sim::Tick propagation_delay,
+                             const FaultModel &faults)
+    : SimObject(sim, std::move(name)), bandwidth_(bandwidth_bits_per_sec),
+      propagationDelay_(propagation_delay), faults_(faults),
+      rng_(faults.seed),
+      packetsSent_(sim.stats(), statName("packetsSent"),
+                   "packets accepted for transmission"),
+      packetsDropped_(sim.stats(), statName("packetsDropped"),
+                      "packets dropped by fault injection"),
+      packetsDuplicated_(sim.stats(), statName("packetsDuplicated"),
+                         "packets duplicated by fault injection"),
+      packetsReordered_(sim.stats(), statName("packetsReordered"),
+                        "packets delayed by fault injection"),
+      bytesSent_(sim.stats(), statName("bytesSent"),
+                 "wire bytes transmitted (incl. framing)")
+{
+    f4t_assert(bandwidth_ > 0, "link '%s' needs positive bandwidth",
+               this->name().c_str());
+}
+
+sim::Tick
+LinkDirection::send(Packet &&pkt)
+{
+    ++packetsSent_;
+    std::size_t wire_bytes = pkt.wireBytes();
+    bytesSent_ += wire_bytes;
+
+    // Serialization: the transmitter is busy for the wire time of this
+    // packet starting at max(now, busyUntil).
+    double seconds =
+        static_cast<double>(wire_bytes) * 8.0 / bandwidth_;
+    sim::Tick tx_time = sim::secondsToTicks(seconds);
+    sim::Tick start = std::max(now(), busyUntil_);
+    busyUntil_ = start + tx_time;
+    sim::Tick arrival = busyUntil_ + propagationDelay_;
+
+    if (nextScheduledDrop_ < faults_.dropAtTicks.size() &&
+        now() >= faults_.dropAtTicks[nextScheduledDrop_]) {
+        ++nextScheduledDrop_;
+        ++packetsDropped_;
+        return arrival;
+    }
+
+    if (faults_.dropProbability > 0 && rng_.chance(faults_.dropProbability)) {
+        ++packetsDropped_;
+        return arrival;
+    }
+
+    if (faults_.duplicateProbability > 0 &&
+        rng_.chance(faults_.duplicateProbability)) {
+        ++packetsDuplicated_;
+        Packet copy = pkt;
+        deliver(std::move(copy), arrival + sim::nanosecondsToTicks(100));
+    }
+
+    if (faults_.reorderProbability > 0 &&
+        rng_.chance(faults_.reorderProbability)) {
+        ++packetsReordered_;
+        arrival += rng_.below(faults_.reorderMaxDelay + 1);
+    }
+
+    deliver(std::move(pkt), arrival);
+    return arrival;
+}
+
+void
+LinkDirection::deliver(Packet &&pkt, sim::Tick when)
+{
+    f4t_assert(sink_ != nullptr, "link '%s' has no sink attached",
+               name().c_str());
+    queue().scheduleCallback(
+        when, [this, p = std::move(pkt)]() mutable {
+            sink_->receivePacket(std::move(p));
+        });
+}
+
+Link::Link(sim::Simulation &sim, std::string name,
+           double bandwidth_bits_per_sec, sim::Tick propagation_delay,
+           const FaultModel &faults)
+    : SimObject(sim, std::move(name)),
+      aToB_(sim, this->name() + ".aToB", bandwidth_bits_per_sec,
+            propagation_delay, faults),
+      bToA_(sim, this->name() + ".bToA", bandwidth_bits_per_sec,
+            propagation_delay,
+            [&faults] {
+                FaultModel reverse = faults;
+                reverse.seed = faults.seed * 2654435761ULL + 1;
+                return reverse;
+            }())
+{}
+
+void
+Link::connect(PacketSink &endpoint_a, PacketSink &endpoint_b)
+{
+    aToB_.setSink(&endpoint_b);
+    bToA_.setSink(&endpoint_a);
+}
+
+} // namespace f4t::net

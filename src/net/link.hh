@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Full-duplex point-to-point link model.
+ *
+ * The evaluation testbed directly connects two endpoints (NIC-to-NIC,
+ * NIC-to-FtEngine, or FtEngine-to-FtEngine) with a 100 Gbps cable.
+ * Each direction serializes packets at the configured bandwidth —
+ * charging the full wire footprint including preamble, IFG, and FCS —
+ * and then delivers after the propagation delay.
+ *
+ * A FaultInjector can drop, duplicate, or delay (reorder) packets with
+ * configured probabilities; the congestion-control experiments
+ * (Fig. 14) and the end-to-end reliability property tests use it.
+ */
+
+#ifndef F4T_NET_LINK_HH
+#define F4T_NET_LINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::net
+{
+
+/** Anything that can accept a packet from a link. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+    virtual void receivePacket(Packet &&pkt) = 0;
+};
+
+/** Probabilistic packet perturbation. All probabilities default to 0. */
+struct FaultModel
+{
+    double dropProbability = 0.0;
+    double duplicateProbability = 0.0;
+    /** Probability of delaying a packet by an extra random interval. */
+    double reorderProbability = 0.0;
+    /** Maximum extra delay applied to reordered packets. */
+    sim::Tick reorderMaxDelay = sim::microsecondsToTicks(50);
+    /**
+     * Deterministic drop schedule: the first packet sent at or after
+     * each listed tick is dropped (sorted ascending). Used by the
+     * congestion-control comparison (Fig. 14) so two independent
+     * simulations see losses at identical instants.
+     */
+    std::vector<sim::Tick> dropAtTicks;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One direction of a link. Owns its serialization state (the time the
+ * transmitter is busy until) so both directions are independent, as on
+ * a real full-duplex cable.
+ */
+class LinkDirection : public sim::SimObject
+{
+  public:
+    LinkDirection(sim::Simulation &sim, std::string name,
+                  double bandwidth_bits_per_sec,
+                  sim::Tick propagation_delay, const FaultModel &faults);
+
+    /** Connect the receiving end. Must be set before traffic flows. */
+    void setSink(PacketSink *sink) { sink_ = sink; }
+
+    /** Queue a packet for transmission; returns the delivery tick. */
+    sim::Tick send(Packet &&pkt);
+
+    std::uint64_t packetsSent() const { return packetsSent_.value(); }
+    std::uint64_t packetsDropped() const { return packetsDropped_.value(); }
+    std::uint64_t bytesSent() const { return bytesSent_.value(); }
+
+    double bandwidthBitsPerSec() const { return bandwidth_; }
+
+  private:
+    void deliver(Packet &&pkt, sim::Tick when);
+
+    PacketSink *sink_ = nullptr;
+    double bandwidth_;
+    sim::Tick propagationDelay_;
+    sim::Tick busyUntil_ = 0;
+    FaultModel faults_;
+    std::size_t nextScheduledDrop_ = 0;
+    sim::Random rng_;
+
+    sim::Counter packetsSent_;
+    sim::Counter packetsDropped_;
+    sim::Counter packetsDuplicated_;
+    sim::Counter packetsReordered_;
+    sim::Counter bytesSent_;
+};
+
+/** A bidirectional cable built from two LinkDirections. */
+class Link : public sim::SimObject
+{
+  public:
+    Link(sim::Simulation &sim, std::string name,
+         double bandwidth_bits_per_sec,
+         sim::Tick propagation_delay = sim::nanosecondsToTicks(500),
+         const FaultModel &faults = {});
+
+    /** Attach the two endpoints; direction A->B and B->A. */
+    void connect(PacketSink &endpoint_a, PacketSink &endpoint_b);
+
+    /** Direction used by endpoint A to reach endpoint B. */
+    LinkDirection &aToB() { return aToB_; }
+    /** Direction used by endpoint B to reach endpoint A. */
+    LinkDirection &bToA() { return bToA_; }
+
+  private:
+    LinkDirection aToB_;
+    LinkDirection bToA_;
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_LINK_HH

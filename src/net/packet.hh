@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Packet structure moved across simulated links.
+ *
+ * A Packet carries parsed headers plus a payload byte vector. For speed
+ * the simulator normally passes Packet objects around without
+ * serializing, but serialize()/parseWire() produce and consume the
+ * exact wire bytes (used in tests and wherever checksums must be
+ * validated end to end).
+ *
+ * wireOverheadBytes matches the paper's accounting of 78 B per packet:
+ * 18 B Ethernet header + FCS framing counted by the paper, 8 B preamble
+ * and 12 B inter-frame gap, plus the 40 B TCP/IP headers carried
+ * explicitly here.
+ */
+
+#ifndef F4T_NET_PACKET_HH
+#define F4T_NET_PACKET_HH
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "net/headers.hh"
+
+namespace f4t::net
+{
+
+/** Non-header bytes the wire charges per frame: preamble + IFG + FCS. */
+constexpr std::size_t wireFramingBytes = 8 + 12 + 4;
+
+struct Packet
+{
+    EthernetHeader eth;
+
+    /** L3/L4 content. ARP frames have no IPv4 header. */
+    std::optional<Ipv4Header> ip;
+    std::variant<std::monostate, TcpHeader, IcmpMessage, ArpMessage> l4;
+
+    /** TCP or ICMP payload bytes (empty for pure control packets). */
+    std::vector<std::uint8_t> payload;
+
+    bool isTcp() const { return std::holds_alternative<TcpHeader>(l4); }
+    bool isIcmp() const { return std::holds_alternative<IcmpMessage>(l4); }
+    bool isArp() const { return std::holds_alternative<ArpMessage>(l4); }
+
+    TcpHeader &tcp() { return std::get<TcpHeader>(l4); }
+    const TcpHeader &tcp() const { return std::get<TcpHeader>(l4); }
+    IcmpMessage &icmp() { return std::get<IcmpMessage>(l4); }
+    const IcmpMessage &icmp() const { return std::get<IcmpMessage>(l4); }
+    ArpMessage &arp() { return std::get<ArpMessage>(l4); }
+    const ArpMessage &arp() const { return std::get<ArpMessage>(l4); }
+
+    /** Frame length on the cable excluding preamble/IFG/FCS. */
+    std::size_t frameBytes() const;
+
+    /**
+     * Bytes the link is occupied for: frame + preamble + IFG + FCS.
+     * This is the length used by the link model's timing.
+     */
+    std::size_t wireBytes() const { return frameBytes() + wireFramingBytes; }
+
+    /** Serialize the frame (Ethernet onward, no preamble/FCS). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Parse a frame produced by serialize(). Returns std::nullopt when
+     * the bytes are malformed or an unsupported ethertype/protocol.
+     */
+    static std::optional<Packet>
+    parseWire(std::span<const std::uint8_t> bytes);
+
+    /** Convenience factory: a TCP packet with addressing filled in. */
+    static Packet makeTcp(MacAddress src_mac, MacAddress dst_mac,
+                          Ipv4Address src_ip, Ipv4Address dst_ip,
+                          const TcpHeader &header,
+                          std::vector<std::uint8_t> payload = {});
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_PACKET_HH

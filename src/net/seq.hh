@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Modular 32-bit TCP sequence-number arithmetic (RFC 793 / RFC 1982).
+ *
+ * Every comparison of sequence-space values in the engine, the software
+ * reference stack, and the Linux model goes through these helpers so
+ * that wrap-around behaviour is consistent everywhere.
+ */
+
+#ifndef F4T_NET_SEQ_HH
+#define F4T_NET_SEQ_HH
+
+#include <cstdint>
+
+namespace f4t::net
+{
+
+/** A TCP sequence-space value. */
+using SeqNum = std::uint32_t;
+
+/** a < b in sequence space. */
+constexpr bool
+seqLt(SeqNum a, SeqNum b)
+{
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/** a <= b in sequence space. */
+constexpr bool
+seqLeq(SeqNum a, SeqNum b)
+{
+    return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+/** a > b in sequence space. */
+constexpr bool
+seqGt(SeqNum a, SeqNum b)
+{
+    return static_cast<std::int32_t>(a - b) > 0;
+}
+
+/** a >= b in sequence space. */
+constexpr bool
+seqGeq(SeqNum a, SeqNum b)
+{
+    return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+/** max in sequence space. */
+constexpr SeqNum
+seqMax(SeqNum a, SeqNum b)
+{
+    return seqGt(a, b) ? a : b;
+}
+
+/** min in sequence space. */
+constexpr SeqNum
+seqMin(SeqNum a, SeqNum b)
+{
+    return seqLt(a, b) ? a : b;
+}
+
+/** Signed distance b - a (positive when b is ahead of a). */
+constexpr std::int32_t
+seqDiff(SeqNum b, SeqNum a)
+{
+    return static_cast<std::int32_t>(b - a);
+}
+
+} // namespace f4t::net
+
+#endif // F4T_NET_SEQ_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Simple typed key-value configuration for experiments.
+ *
+ * Benchmarks and examples build a Config, optionally override entries
+ * from command-line "key=value" arguments, and pass it down to system
+ * builders. Unknown keys are a fatal user error so typos cannot
+ * silently run the wrong experiment.
+ */
+
+#ifndef F4T_SIM_CONFIG_HH
+#define F4T_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace f4t::sim
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Declare a key with its default value. */
+    void
+    declare(const std::string &key, const std::string &default_value,
+            const std::string &description = "")
+    {
+        entries_[key] = Entry{default_value, description};
+    }
+
+    /** Override a declared key. Fatal if the key was never declared. */
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            f4t_fatal("unknown config key '%s'", key.c_str());
+        it->second.value = value;
+    }
+
+    /** Parse argv entries of the form key=value; others are ignored. */
+    void
+    parseArgs(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                continue;
+            set(arg.substr(0, eq), arg.substr(eq + 1));
+        }
+    }
+
+    bool has(const std::string &key) const { return entries_.count(key); }
+
+    std::string
+    getString(const std::string &key) const
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            f4t_fatal("config key '%s' not declared", key.c_str());
+        return it->second.value;
+    }
+
+    std::int64_t
+    getInt(const std::string &key) const
+    {
+        return std::stoll(getString(key));
+    }
+
+    std::uint64_t
+    getUint(const std::string &key) const
+    {
+        return std::stoull(getString(key));
+    }
+
+    double
+    getDouble(const std::string &key) const
+    {
+        return std::stod(getString(key));
+    }
+
+    bool
+    getBool(const std::string &key) const
+    {
+        std::string v = getString(key);
+        return v == "1" || v == "true" || v == "yes" || v == "on";
+    }
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        std::string description;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_CONFIG_HH

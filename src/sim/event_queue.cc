@@ -1,0 +1,126 @@
+#include "event_queue.hh"
+
+namespace f4t::sim
+{
+
+Event::~Event()
+{
+    if (scheduled_ && queue_)
+        queue_->deschedule(this);
+}
+
+EventQueue::~EventQueue()
+{
+    // Self-deleting lambda events still in the heap must be reclaimed.
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.top();
+        if (top.selfDeleting && top.event->scheduled_ &&
+            top.generation == top.event->generation_) {
+            delete top.event;
+        }
+        heap_.pop();
+    }
+}
+
+void
+EventQueue::push(Event *ev, Tick when, bool self_deleting)
+{
+    f4t_assert(when >= now_,
+               "scheduling event '%s' in the past (%llu < %llu)",
+               ev->description().c_str(),
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now_));
+    f4t_assert(!ev->scheduled_, "event '%s' already scheduled",
+               ev->description().c_str());
+
+    ev->when_ = when;
+    ev->scheduled_ = true;
+    ev->queue_ = this;
+    heap_.push(HeapEntry{when, ev->priority(), nextSeq_++, ev->generation_,
+                         ev, self_deleting});
+    ++liveEvents_;
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    push(ev, when, false);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->scheduled_)
+        return;
+    // Lazy removal: bump the generation so the heap entry is squashed.
+    ++ev->generation_;
+    ev->scheduled_ = false;
+    f4t_assert(liveEvents_ > 0, "live event count underflow");
+    --liveEvents_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleCallback(Tick when, std::function<void()> fn,
+                             int priority)
+{
+    auto *ev = new LambdaEvent(std::move(fn), priority);
+    push(ev, when, true);
+}
+
+void
+EventQueue::skipSquashed()
+{
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.top();
+        bool live = top.event->scheduled_ &&
+                    top.generation == top.event->generation_;
+        if (live)
+            return;
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::runOne(Tick limit)
+{
+    skipSquashed();
+    if (heap_.empty())
+        return false;
+
+    HeapEntry top = heap_.top();
+    if (top.when > limit)
+        return false;
+
+    heap_.pop();
+    f4t_assert(top.when >= now_, "event queue time went backwards");
+    now_ = top.when;
+
+    Event *ev = top.event;
+    ev->scheduled_ = false;
+    --liveEvents_;
+    ++processed_;
+    ev->process();
+    if (top.selfDeleting)
+        delete ev;
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (runOne(limit)) {
+    }
+    if (now_ < limit && limit != maxTick)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace f4t::sim

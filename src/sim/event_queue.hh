@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Discrete-event simulation queue.
+ *
+ * The queue orders Event objects by (tick, priority, insertion sequence).
+ * Events are intrusive: an Event remembers whether it is scheduled so it
+ * can be safely rescheduled or descheduled. Descheduling is lazy — the
+ * entry stays in the heap with a squashed generation counter and is
+ * skipped when popped — which keeps scheduling O(log n) with no heap
+ * surgery.
+ *
+ * Lifetime rule: because descheduling is lazy, a descheduled Event may
+ * still be referenced by a squashed heap entry. An Event must therefore
+ * outlive the queue entries that refer to it; in practice, make events
+ * members of modules that live as long as the Simulation (the usual
+ * gem5 convention), or let the destructor run only after the queue has
+ * drained past the event's old tick.
+ */
+
+#ifndef F4T_SIM_EVENT_QUEUE_HH
+#define F4T_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace f4t::sim
+{
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable events. Subclasses implement process().
+ * An Event may be scheduled on at most one queue at a time.
+ */
+class Event
+{
+  public:
+    /** Lower value runs first among events at the same tick. */
+    enum Priority : int
+    {
+        clockPriority = 0,     ///< per-cycle module ticks
+        defaultPriority = 50,  ///< ordinary events
+        statsPriority = 90,    ///< end-of-interval bookkeeping
+    };
+
+    explicit Event(int priority = defaultPriority) : priority_(priority) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable description for debugging. */
+    virtual std::string description() const { return "generic event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    int priority_;
+    bool scheduled_ = false;
+    std::uint64_t generation_ = 0; ///< bumped on deschedule to squash
+    EventQueue *queue_ = nullptr;
+};
+
+/** An event that runs a captured callable; owns itself when one-shot. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = defaultPriority)
+        : Event(priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+    std::string description() const override { return "lambda event"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The global time-ordered event queue. One instance per Simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= now). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event; no-op if it is not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule if needed and schedule at the new time. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot callback. The underlying event deletes itself
+     * after running. Useful for fire-and-forget completion callbacks.
+     */
+    void scheduleCallback(Tick when, std::function<void()> fn,
+                          int priority = Event::defaultPriority);
+
+    /** True when no live events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live (non-squashed) scheduled events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /**
+     * Run events until the queue drains or simulated time would pass
+     * @p limit. Events scheduled exactly at @p limit still run.
+     * @return the tick at which the run stopped.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Run exactly one event if any is pending within @p limit. */
+    bool runOne(Tick limit = maxTick);
+
+    /** Total number of events processed since construction. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+        bool selfDeleting;
+    };
+
+    struct HeapCompare
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void push(Event *ev, Tick when, bool self_deleting);
+
+    /** Pop squashed entries until the top is live (or the heap empties). */
+    void skipSquashed();
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::size_t liveEvents_ = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_EVENT_QUEUE_HH

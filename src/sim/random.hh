@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All stochastic behaviour (fault injection, jitter models, workload
+ * generators) draws from explicitly seeded Random instances so that
+ * every experiment is reproducible bit-for-bit.
+ */
+
+#ifndef F4T_SIM_RANDOM_HH
+#define F4T_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace f4t::sim
+{
+
+/** xoshiro256** — fast, high-quality, deterministic. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0xf47f47f4ULL) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Log-normal sample parameterized by the *underlying* mu/sigma. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        // Box-Muller transform.
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        return std::exp(mu + sigma * z);
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_RANDOM_HH

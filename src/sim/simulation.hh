@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Simulation: the root object owning the event queue, the statistics
+ * registry, and the clock domains used by every model in a run.
+ */
+
+#ifndef F4T_SIM_SIMULATION_HH
+#define F4T_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace f4t::sim
+{
+
+/** A named clock with a fixed period, shared by clocked objects. */
+class ClockDomain
+{
+  public:
+    ClockDomain(std::string name, double frequency_hz, EventQueue &queue)
+        : name_(std::move(name)), period_(periodFromFrequency(frequency_hz)),
+          queue_(queue)
+    {
+        f4t_assert(period_ > 0, "clock domain '%s' has zero period",
+                   name_.c_str());
+    }
+
+    const std::string &name() const { return name_; }
+    Tick period() const { return period_; }
+    double frequency() const
+    {
+        return static_cast<double>(ticksPerSecond) /
+               static_cast<double>(period_);
+    }
+
+    /** Cycle count at the current tick (cycle 0 starts at tick 0). */
+    Cycles curCycle() const { return queue_.now() / period_; }
+
+    /**
+     * First clock edge strictly after the current tick, plus @p ahead
+     * additional cycles. An object that ticks itself every cycle calls
+     * clockEdge() from within its tick handler to get the next edge.
+     */
+    Tick
+    clockEdge(Cycles ahead = 0) const
+    {
+        Tick now = queue_.now();
+        Tick next = (now / period_ + 1) * period_;
+        return next + ahead * period_;
+    }
+
+    /** Convert a cycle count to a duration in ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+  private:
+    std::string name_;
+    Tick period_;
+    EventQueue &queue_;
+};
+
+/**
+ * Root of a simulated system. Construct one per experiment; all modules
+ * take a reference and register their events and statistics with it.
+ */
+class Simulation
+{
+  public:
+    Simulation()
+        : engineClock_("clk250", 250e6, queue_),
+          netClock_("clk322", 322e6, queue_),
+          hostClock_("clk2g3", 2.3e9, queue_)
+    {}
+
+    EventQueue &queue() { return queue_; }
+    StatRegistry &stats() { return stats_; }
+
+    Tick now() const { return queue_.now(); }
+
+    /** 250 MHz FtEngine control-path clock. */
+    ClockDomain &engineClock() { return engineClock_; }
+    /** 322 MHz Ethernet / data-path clock. */
+    ClockDomain &netClock() { return netClock_; }
+    /** 2.3 GHz host CPU clock (Xeon Gold 5118). */
+    ClockDomain &hostClock() { return hostClock_; }
+
+    /** Run until the queue drains or @p limit is reached. */
+    Tick run(Tick limit = maxTick) { return queue_.run(limit); }
+
+    /** Run for a further @p duration ticks of simulated time. */
+    Tick runFor(Tick duration) { return queue_.run(now() + duration); }
+
+  private:
+    EventQueue queue_;
+    StatRegistry stats_;
+    ClockDomain engineClock_;
+    ClockDomain netClock_;
+    ClockDomain hostClock_;
+};
+
+/** Base class for named simulation modules. */
+class SimObject
+{
+  public:
+    SimObject(Simulation &sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Simulation &sim() { return sim_; }
+    const Simulation &sim() const { return sim_; }
+    EventQueue &queue() { return sim_.queue(); }
+    Tick now() const { return sim_.now(); }
+
+    /** Build a child statistic name: "<object>.<stat>". */
+    std::string statName(const std::string &leaf) const
+    {
+        return name_ + "." + leaf;
+    }
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+};
+
+/**
+ * A SimObject driven by a clock: subclasses implement tick(), returning
+ * true to keep ticking on every subsequent edge and false to go idle.
+ * Idle objects consume no simulation events until activate() is called
+ * again — crucial for simulation speed with thousands of flows.
+ */
+class ClockedObject : public SimObject
+{
+  public:
+    ClockedObject(Simulation &sim, std::string name, ClockDomain &domain)
+        : SimObject(sim, std::move(name)), domain_(domain), tickEvent_(*this)
+    {}
+
+    ~ClockedObject() override
+    {
+        if (tickEvent_.scheduled())
+            queue().deschedule(&tickEvent_);
+    }
+
+    ClockDomain &clock() { return domain_; }
+    Cycles curCycle() const { return domain_.curCycle(); }
+
+    /** Ensure a tick is scheduled for the next clock edge. */
+    void
+    activate()
+    {
+        if (!tickEvent_.scheduled())
+            queue().schedule(&tickEvent_, domain_.clockEdge());
+    }
+
+    bool active() const { return tickEvent_.scheduled(); }
+
+  protected:
+    /** @return true to tick again on the next edge. */
+    virtual bool tick() = 0;
+
+  private:
+    struct TickEvent : public Event
+    {
+        explicit TickEvent(ClockedObject &owner)
+            : Event(clockPriority), owner_(owner)
+        {}
+
+        void
+        process() override
+        {
+            if (owner_.tick())
+                owner_.activate();
+        }
+
+        std::string
+        description() const override
+        {
+            return owner_.name() + ".tick";
+        }
+
+        ClockedObject &owner_;
+    };
+
+    ClockDomain &domain_;
+    TickEvent tickEvent_;
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_SIMULATION_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, frequencies.
+ *
+ * The global simulated time base is one tick = one picosecond, which is
+ * fine enough to represent both FtEngine clock domains (250 MHz and
+ * 322 MHz) and the 2.3 GHz host clock without rounding drift over the
+ * simulated intervals used in the experiments.
+ */
+
+#ifndef F4T_SIM_TYPES_HH
+#define F4T_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace f4t::sim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per second (1 tick = 1 ps). */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert a frequency in Hz to a clock period in ticks (rounded). */
+constexpr Tick
+periodFromFrequency(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(ticksPerSecond) / hz + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond) + 0.5);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+microsecondsToTicks(double us)
+{
+    return secondsToTicks(us * 1e-6);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+millisecondsToTicks(double ms)
+{
+    return secondsToTicks(ms * 1e-3);
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nanosecondsToTicks(double ns)
+{
+    return secondsToTicks(ns * 1e-9);
+}
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_TYPES_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Test alias for the shared two-node testbed builders, which live in
+ * apps/testbed.hh so benchmarks and examples use the same worlds.
+ */
+
+#ifndef F4T_TESTS_HARNESS_HH
+#define F4T_TESTS_HARNESS_HH
+
+#include "apps/testbed.hh"
+
+namespace f4t::test
+{
+using namespace f4t::testbed;
+} // namespace f4t::test
+
+#endif // F4T_TESTS_HARNESS_HH

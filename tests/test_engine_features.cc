@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Engine feature tests beyond the main data path: ARP resolution,
+ * ICMP echo (ping), SO_REUSEPORT distribution of accepted flows over
+ * queues, flow-ID recycling across connection generations, and
+ * byte-accurate wire traffic sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hh"
+#include "harness.hh"
+
+namespace f4t
+{
+namespace
+{
+
+/** A raw peer that can inject arbitrary frames and records replies. */
+struct RawPeer : net::PacketSink
+{
+    std::vector<net::Packet> received;
+
+    void
+    receivePacket(net::Packet &&pkt) override
+    {
+        received.push_back(std::move(pkt));
+    }
+};
+
+TEST(EngineFeatures, AnswersArpRequests)
+{
+    sim::Simulation sim;
+    core::EngineConfig config;
+    config.numFpcs = 1;
+    config.flowsPerFpc = 8;
+    config.maxFlows = 32;
+    core::FtEngine engine(sim, "engine", config);
+
+    net::Link link(sim, "link", 100e9, 0);
+    RawPeer peer;
+    link.connect(engine, peer);
+    engine.setTransmit(
+        [&link](net::Packet &&pkt) { link.aToB().send(std::move(pkt)); });
+
+    net::Packet request;
+    request.eth.src = net::MacAddress{{9, 9, 9, 9, 9, 9}};
+    request.eth.dst = net::MacAddress::broadcast();
+    request.eth.etherType = net::EthernetHeader::typeArp;
+    net::ArpMessage arp;
+    arp.opcode = net::ArpMessage::opRequest;
+    arp.senderMac = request.eth.src;
+    arp.senderIp = net::Ipv4Address::fromOctets(10, 0, 0, 9);
+    arp.targetIp = config.ip;
+    request.l4 = arp;
+    link.bToA().send(net::Packet(request));
+
+    sim.runFor(sim::microsecondsToTicks(10));
+
+    ASSERT_EQ(peer.received.size(), 1u);
+    ASSERT_TRUE(peer.received[0].isArp());
+    const net::ArpMessage &reply = peer.received[0].arp();
+    EXPECT_EQ(reply.opcode, net::ArpMessage::opReply);
+    EXPECT_EQ(reply.senderIp, config.ip);
+    EXPECT_EQ(reply.senderMac.toString(), config.mac.toString());
+    EXPECT_EQ(reply.targetIp.value, 0x0a000009u);
+}
+
+TEST(EngineFeatures, AnswersIcmpEcho)
+{
+    sim::Simulation sim;
+    core::EngineConfig config;
+    config.numFpcs = 1;
+    config.flowsPerFpc = 8;
+    config.maxFlows = 32;
+    core::FtEngine engine(sim, "engine", config);
+
+    net::Link link(sim, "link", 100e9, 0);
+    RawPeer peer;
+    link.connect(engine, peer);
+    engine.setTransmit(
+        [&link](net::Packet &&pkt) { link.aToB().send(std::move(pkt)); });
+
+    net::Packet ping;
+    ping.eth.src = net::MacAddress{{9, 9, 9, 9, 9, 9}};
+    ping.eth.dst = config.mac;
+    ping.eth.etherType = net::EthernetHeader::typeIpv4;
+    net::Ipv4Header ip;
+    ip.src = net::Ipv4Address::fromOctets(10, 0, 0, 9);
+    ip.dst = config.ip;
+    ip.protocol = net::Ipv4Header::protoIcmp;
+    ping.ip = ip;
+    net::IcmpMessage echo;
+    echo.type = net::IcmpMessage::typeEchoRequest;
+    echo.identifier = 0x1234;
+    echo.sequence = 7;
+    echo.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+    ping.l4 = echo;
+    link.bToA().send(std::move(ping));
+
+    sim.runFor(sim::microsecondsToTicks(10));
+
+    ASSERT_EQ(peer.received.size(), 1u);
+    ASSERT_TRUE(peer.received[0].isIcmp());
+    const net::IcmpMessage &pong = peer.received[0].icmp();
+    EXPECT_EQ(pong.type, net::IcmpMessage::typeEchoReply);
+    EXPECT_EQ(pong.identifier, 0x1234);
+    EXPECT_EQ(pong.sequence, 7);
+    EXPECT_EQ(pong.payload, echo.payload);
+    EXPECT_EQ(peer.received[0].ip->dst.value, 0x0a000009u);
+}
+
+TEST(EngineFeatures, ReuseportSpreadsAcceptedFlowsOverQueues)
+{
+    // Two server threads listen on the same port; accepted flows must
+    // alternate between their queues (Section 4.6).
+    core::EngineConfig config;
+    config.numFpcs = 2;
+    config.flowsPerFpc = 32;
+    config.maxFlows = 256;
+    test::EnginePairWorld world(2, config);
+
+    auto api0 = world.apiB(0);
+    auto api1 = world.apiB(1);
+    std::size_t accepted0 = 0, accepted1 = 0;
+    apps::SocketApi::Handlers handlers0;
+    handlers0.onAccepted = [&](int, std::uint16_t) { ++accepted0; };
+    api0.setHandlers(handlers0);
+    api0.listen(9000);
+    apps::SocketApi::Handlers handlers1;
+    handlers1.onAccepted = [&](int, std::uint16_t) { ++accepted1; };
+    api1.setHandlers(handlers1);
+    api1.listen(9000);
+    world.sim.runFor(sim::microsecondsToTicks(20));
+
+    auto client = world.apiA(0);
+    apps::SocketApi::Handlers client_handlers;
+    client.setHandlers(client_handlers);
+    for (int i = 0; i < 8; ++i)
+        client.connect(test::ipB(), 9000);
+    world.sim.runFor(sim::millisecondsToTicks(1));
+
+    EXPECT_EQ(accepted0 + accepted1, 8u);
+    EXPECT_EQ(accepted0, 4u);
+    EXPECT_EQ(accepted1, 4u);
+}
+
+TEST(EngineFeatures, FlowIdsRecycleAcrossGenerations)
+{
+    // Open and fully close connections repeatedly: the engine must
+    // recycle its flow IDs and TCB slots, never leaking.
+    core::EngineConfig config;
+    config.numFpcs = 1;
+    config.flowsPerFpc = 8;
+    config.maxFlows = 16;
+    config.fpu.timeWaitUs = 200; // shortened 2*MSL for the test
+    test::EnginePairWorld world(1, config);
+
+    auto server = world.apiB(0);
+    apps::SocketApi::Handlers server_handlers;
+    server_handlers.onPeerClosed = [&](int conn) { server.close(conn); };
+    server.setHandlers(server_handlers);
+    server.listen(7);
+    world.sim.runFor(sim::microsecondsToTicks(20));
+
+    auto client = world.apiA(0);
+    int closed = 0;
+    apps::SocketApi::Handlers client_handlers;
+    client_handlers.onConnected = [&](int conn) { client.close(conn); };
+    client_handlers.onClosed = [&](int) { ++closed; };
+    client.setHandlers(client_handlers);
+
+    // 48 sequential connections through a 16-ID space.
+    for (int i = 0; i < 48; ++i) {
+        client.connect(test::ipB(), 7);
+        world.sim.runFor(sim::microsecondsToTicks(120));
+    }
+    world.sim.runFor(sim::millisecondsToTicks(1));
+
+    EXPECT_EQ(closed, 48);
+    EXPECT_EQ(world.engineA->flowsActive(), 0u);
+    EXPECT_EQ(world.engineB->flowsActive(), 0u);
+}
+
+TEST(EngineFeatures, CubicEngineTransfersEndToEnd)
+{
+    // The engine works identically with a different FPU program.
+    core::EngineConfig config;
+    config.numFpcs = 1;
+    config.flowsPerFpc = 16;
+    config.maxFlows = 64;
+    config.congestionControl = "cubic";
+    test::EnginePairWorld world(1, config);
+    EXPECT_EQ(world.engineA->fpc(0).fpuLatency(), 41u);
+
+    auto server = world.apiB(0);
+    apps::BulkSinkConfig sink_config;
+    sink_config.verifyPattern = true;
+    apps::BulkSinkApp sink(server, sink_config);
+    sink.start();
+    world.sim.runFor(sim::microsecondsToTicks(20));
+
+    auto client = world.apiA(0);
+    apps::BulkSenderConfig sender_config;
+    sender_config.peer = test::ipB();
+    sender_config.requestBytes = 1460;
+    apps::BulkSenderApp sender(client, sender_config);
+    sender.start();
+
+    world.sim.runFor(sim::millisecondsToTicks(1));
+    EXPECT_GT(sink.bytesReceived(), 1'000'000u);
+    EXPECT_EQ(sink.patternErrors(), 0u);
+}
+
+} // namespace
+} // namespace f4t

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Unit tests for the FPU program: one stateless pass over a merged
+ * TCB must implement the complete TCP state machine — handshakes,
+ * send decisions under congestion/flow control, ACK generation,
+ * retransmission, probing, FIN sequences, and host notifications.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tcp/fpu_program.hh"
+
+namespace f4t::tcp
+{
+namespace
+{
+
+struct FpuFixture : ::testing::Test
+{
+    NewRenoPolicy cc;
+    FpuProgram program{cc};
+    FpuActions actions;
+
+    Tcb
+    freshFlow(FlowId flow = 7, bool passive = false)
+    {
+        Tcb tcb;
+        tcb.flowId = flow;
+        tcb.passiveOpen = passive;
+        tcb.mss = 1460;
+        tcb.iss = FpuProgram::initialSequence(flow);
+        tcb.sndUna = tcb.iss;
+        tcb.sndUnaProcessed = tcb.iss;
+        tcb.sndNxt = tcb.iss + 1;
+        tcb.req = tcb.iss + 1;
+        tcb.lastAckNotified = tcb.iss + 1;
+        return tcb;
+    }
+
+    Tcb
+    establishedFlow(FlowId flow = 7)
+    {
+        Tcb tcb = freshFlow(flow);
+        tcb.state = ConnState::established;
+        tcb.sndUna = tcb.iss + 1;
+        tcb.sndUnaProcessed = tcb.sndUna;
+        tcb.lastAckNotified = tcb.sndUna;
+        tcb.irs = 99000;
+        tcb.rcvNxt = 99001;
+        tcb.userRead = 99001;
+        tcb.lastAckSent = 99001;
+        tcb.lastRcvNotified = 99001;
+        tcb.lastWndAdvertised = 99001 + tcb.receiveWindow();
+        tcb.sndWnd = 1 << 20;
+        cc.onInit(tcb);
+        return tcb;
+    }
+
+    void
+    run(Tcb &tcb, std::uint64_t now_us = 1000)
+    {
+        actions.clear();
+        program.process(tcb, now_us, actions);
+    }
+};
+
+TEST_F(FpuFixture, ActiveOpenEmitsSynWithMss)
+{
+    Tcb tcb = freshFlow();
+    tcb.pendingFlags = EventFlags::openRequest;
+    run(tcb);
+
+    EXPECT_EQ(tcb.state, ConnState::synSent);
+    ASSERT_EQ(actions.controls.size(), 1u);
+    const ControlRequest &syn = actions.controls[0];
+    EXPECT_EQ(syn.flags, net::TcpFlags::syn);
+    EXPECT_EQ(syn.seq, tcb.iss);
+    EXPECT_EQ(syn.mssOption, 1460);
+    // Retransmission protection for the SYN.
+    ASSERT_FALSE(actions.timers.empty());
+    EXPECT_EQ(actions.timers[0].kind, TimeoutKind::retransmit);
+    EXPECT_GT(actions.timers[0].deadlineUs, 1000u);
+}
+
+TEST_F(FpuFixture, SynAckCompletesActiveOpen)
+{
+    Tcb tcb = freshFlow();
+    tcb.pendingFlags = EventFlags::openRequest;
+    run(tcb);
+
+    // Merge applied: peer ISN and cumulative ACK of our SYN.
+    tcb.pendingFlags = EventFlags::synAckSeen | EventFlags::ackSeen;
+    tcb.irs = 5000;
+    tcb.rcvNxt = 5001;
+    tcb.userRead = 5001;
+    tcb.sndUna = tcb.iss + 1;
+    tcb.sndWnd = 65536;
+    run(tcb);
+
+    EXPECT_EQ(tcb.state, ConnState::established);
+    // Final handshake ACK.
+    ASSERT_FALSE(actions.controls.empty());
+    EXPECT_EQ(actions.controls[0].flags, net::TcpFlags::ack);
+    EXPECT_EQ(actions.controls[0].ack, 5001u);
+    // Host learns the connection and its stream base.
+    ASSERT_FALSE(actions.notifications.empty());
+    EXPECT_EQ(actions.notifications[0].kind,
+              HostNotification::Kind::connected);
+    EXPECT_EQ(actions.notifications[0].pointer, tcb.iss + 1);
+}
+
+TEST_F(FpuFixture, PassiveOpenSendsSynAckThenEstablishes)
+{
+    Tcb tcb = freshFlow(9, /*passive=*/true);
+    tcb.pendingFlags = EventFlags::synSeen;
+    tcb.irs = 7000;
+    tcb.rcvNxt = 7001;
+    tcb.userRead = 7001;
+    run(tcb);
+
+    EXPECT_EQ(tcb.state, ConnState::synRcvd);
+    ASSERT_FALSE(actions.controls.empty());
+    EXPECT_EQ(actions.controls[0].flags,
+              net::TcpFlags::syn | net::TcpFlags::ack);
+    EXPECT_EQ(actions.controls[0].ack, 7001u);
+
+    // The handshake ACK arrives (merge advanced sndUna past our SYN).
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.iss + 1;
+    run(tcb);
+    EXPECT_EQ(tcb.state, ConnState::established);
+    ASSERT_FALSE(actions.notifications.empty());
+    EXPECT_EQ(actions.notifications[0].kind,
+              HostNotification::Kind::connected);
+}
+
+TEST_F(FpuFixture, SendsDataWithinWindow)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 5000; // user queued 5000 bytes
+    run(tcb);
+
+    ASSERT_EQ(actions.segments.size(), 1u);
+    const SegmentRequest &seg = actions.segments[0];
+    EXPECT_EQ(seg.seq, tcb.iss + 1);
+    EXPECT_EQ(seg.length, 5000u);
+    EXPECT_EQ(seg.ack, tcb.rcvNxt);
+    EXPECT_EQ(tcb.sndNxt, tcb.iss + 1 + 5000);
+    // RTT sampling started for this transmission.
+    EXPECT_TRUE(tcb.rttSampling);
+    EXPECT_EQ(tcb.rttSampleSeq, tcb.sndNxt);
+}
+
+TEST_F(FpuFixture, CongestionWindowLimitsTransmission)
+{
+    Tcb tcb = establishedFlow();
+    tcb.cwnd = 3000;
+    tcb.req = tcb.sndNxt + 50000;
+    run(tcb);
+
+    ASSERT_EQ(actions.segments.size(), 1u);
+    EXPECT_EQ(actions.segments[0].length, 3000u);
+}
+
+TEST_F(FpuFixture, PeerWindowLimitsTransmission)
+{
+    Tcb tcb = establishedFlow();
+    tcb.sndWnd = 2000;
+    tcb.req = tcb.sndNxt + 50000;
+    run(tcb);
+    ASSERT_EQ(actions.segments.size(), 1u);
+    EXPECT_EQ(actions.segments[0].length, 2000u);
+}
+
+TEST_F(FpuFixture, ZeroWindowArmsProbeTimer)
+{
+    Tcb tcb = establishedFlow();
+    tcb.sndWnd = 0;
+    tcb.req = tcb.sndNxt + 1000;
+    run(tcb);
+
+    EXPECT_TRUE(actions.segments.empty());
+    bool probe_armed = false;
+    for (const TimerRequest &timer : actions.timers) {
+        if (timer.kind == TimeoutKind::probe && timer.deadlineUs > 0)
+            probe_armed = true;
+    }
+    EXPECT_TRUE(probe_armed);
+
+    // The probe timeout emits a window probe.
+    tcb.pendingFlags = EventFlags::probeTimeout;
+    run(tcb, 10'000);
+    bool probed = false;
+    for (const ControlRequest &ctrl : actions.controls)
+        probed = probed || ctrl.windowProbe;
+    EXPECT_TRUE(probed);
+}
+
+TEST_F(FpuFixture, AckAdvancesAndNotifiesHost)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 5000;
+    run(tcb);
+
+    // Peer cumulatively ACKs 3000 bytes (merge wrote sndUna).
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.iss + 1 + 3000;
+    run(tcb, 2000);
+
+    ASSERT_FALSE(actions.notifications.empty());
+    EXPECT_EQ(actions.notifications[0].kind, HostNotification::Kind::acked);
+    EXPECT_EQ(actions.notifications[0].pointer, tcb.iss + 1 + 3000);
+    EXPECT_EQ(tcb.sndUnaProcessed, tcb.sndUna);
+    EXPECT_EQ(tcb.dupAcks, 0);
+}
+
+TEST_F(FpuFixture, ReceivedDataGeneratesAckAndNotification)
+{
+    Tcb tcb = establishedFlow();
+    // Merge advanced rcvNxt by 2920 in-order bytes.
+    tcb.pendingFlags = EventFlags::ackSeen | EventFlags::dataArrived;
+    tcb.rcvNxt = 99001 + 2920;
+    run(tcb);
+
+    bool acked = false;
+    for (const ControlRequest &ctrl : actions.controls) {
+        if (ctrl.flags == net::TcpFlags::ack && ctrl.ack == tcb.rcvNxt)
+            acked = true;
+    }
+    EXPECT_TRUE(acked);
+    ASSERT_FALSE(actions.notifications.empty());
+    EXPECT_EQ(actions.notifications[0].kind,
+              HostNotification::Kind::received);
+    EXPECT_EQ(actions.notifications[0].pointer, 99001u + 2920u);
+    EXPECT_EQ(tcb.lastAckSent, tcb.rcvNxt);
+}
+
+TEST_F(FpuFixture, OutOfOrderDataForcesDuplicateAck)
+{
+    Tcb tcb = establishedFlow();
+    // Data arrived but rcvNxt did not advance: hole in the stream.
+    tcb.pendingFlags = EventFlags::dataArrived;
+    run(tcb);
+
+    ASSERT_FALSE(actions.controls.empty());
+    EXPECT_EQ(actions.controls[0].ack, tcb.rcvNxt); // the dup ACK
+}
+
+TEST_F(FpuFixture, ThreeDupAcksTriggerFastRetransmit)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 20000;
+    run(tcb); // sends, sndNxt advances
+
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.dupAcks = 3; // merge added the handler's increments
+    run(tcb, 3000);
+
+    ASSERT_EQ(actions.segments.size(), 1u);
+    EXPECT_TRUE(actions.segments[0].retransmission);
+    EXPECT_EQ(actions.segments[0].seq, tcb.sndUna);
+    EXPECT_EQ(actions.segments[0].length, 1460u);
+    EXPECT_EQ(tcb.ccPhase, CcPhase::fastRecovery);
+    EXPECT_EQ(tcb.recover, tcb.sndNxt);
+    EXPECT_EQ(tcb.dupAcksSeen, 3);
+    EXPECT_FALSE(tcb.rttSampling); // Karn's rule
+}
+
+TEST_F(FpuFixture, RecoveryExitDeflatesToSsthresh)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 20000;
+    run(tcb);
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.dupAcks = 3;
+    run(tcb, 3000);
+    std::uint32_t ssthresh = tcb.ssthresh;
+
+    // Full ACK past the recovery point.
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.recover;
+    run(tcb, 4000);
+    EXPECT_EQ(tcb.ccPhase, CcPhase::congestionAvoidance);
+    EXPECT_EQ(tcb.cwnd, ssthresh);
+    EXPECT_EQ(tcb.dupAcks, 0);
+}
+
+TEST_F(FpuFixture, PartialAckRetransmitsNextHole)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 20000;
+    run(tcb);
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.dupAcks = 3;
+    run(tcb, 3000);
+
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.sndUna + 1460; // partial: below recover
+    run(tcb, 4000);
+    EXPECT_EQ(tcb.ccPhase, CcPhase::fastRecovery);
+    bool retransmitted = false;
+    for (const SegmentRequest &seg : actions.segments) {
+        if (seg.retransmission && seg.seq == tcb.sndUna)
+            retransmitted = true;
+    }
+    EXPECT_TRUE(retransmitted);
+}
+
+TEST_F(FpuFixture, RtoRetransmitsAndCollapsesWindow)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 8000;
+    run(tcb);
+
+    tcb.pendingFlags = EventFlags::rtxTimeout;
+    run(tcb, 250'000);
+
+    ASSERT_FALSE(actions.segments.empty());
+    EXPECT_TRUE(actions.segments[0].retransmission);
+    EXPECT_EQ(actions.segments[0].seq, tcb.sndUna);
+    EXPECT_EQ(tcb.cwnd, 1460u);
+    EXPECT_EQ(tcb.ccPhase, CcPhase::slowStart);
+    EXPECT_EQ(tcb.rtxBackoff, 1u);
+    // Timer re-armed with backoff.
+    bool rearmed = false;
+    for (const TimerRequest &timer : actions.timers) {
+        if (timer.kind == TimeoutKind::retransmit && timer.deadlineUs > 0)
+            rearmed = true;
+    }
+    EXPECT_TRUE(rearmed);
+}
+
+TEST_F(FpuFixture, StaleRtoWithNothingInFlightIsIgnored)
+{
+    Tcb tcb = establishedFlow();
+    tcb.pendingFlags = EventFlags::rtxTimeout;
+    run(tcb);
+    EXPECT_TRUE(actions.segments.empty());
+    EXPECT_EQ(tcb.ccPhase, CcPhase::slowStart);
+    EXPECT_GT(tcb.cwnd, 1460u); // untouched
+}
+
+TEST_F(FpuFixture, CloseDrainsDataThenSendsFin)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 3000;
+    tcb.pendingFlags = EventFlags::closeRequest;
+    run(tcb);
+
+    // Data first; FIN follows in the same pass since the window allows
+    // the full drain.
+    ASSERT_EQ(actions.segments.size(), 1u);
+    bool fin_sent = false;
+    for (const ControlRequest &ctrl : actions.controls) {
+        if (ctrl.flags & net::TcpFlags::fin)
+            fin_sent = true;
+    }
+    EXPECT_TRUE(fin_sent);
+    EXPECT_EQ(tcb.state, ConnState::finWait1);
+    EXPECT_TRUE(tcb.finSent);
+    EXPECT_EQ(tcb.finSeq, tcb.iss + 1 + 3000);
+}
+
+TEST_F(FpuFixture, FullCloseSequenceReachesClosed)
+{
+    // Our side closes; peer ACKs the FIN, then sends its own FIN.
+    Tcb tcb = establishedFlow();
+    tcb.pendingFlags = EventFlags::closeRequest;
+    run(tcb);
+    EXPECT_EQ(tcb.state, ConnState::finWait1);
+
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.finSeq + 1;
+    run(tcb, 2000);
+    EXPECT_EQ(tcb.state, ConnState::finWait2);
+
+    tcb.pendingFlags = EventFlags::finSeen | EventFlags::ackSeen;
+    tcb.rcvNxt += 1; // peer FIN consumed one sequence number
+    run(tcb, 3000);
+    EXPECT_EQ(tcb.state, ConnState::timeWait);
+    bool peer_closed = false;
+    for (const HostNotification &note : actions.notifications) {
+        if (note.kind == HostNotification::Kind::peerClosed)
+            peer_closed = true;
+    }
+    EXPECT_TRUE(peer_closed);
+
+    tcb.pendingFlags = EventFlags::timeWaitTimeout;
+    run(tcb, 4000);
+    EXPECT_EQ(tcb.state, ConnState::closed);
+    EXPECT_TRUE(actions.releaseFlow);
+}
+
+TEST_F(FpuFixture, PassiveCloseSequence)
+{
+    Tcb tcb = establishedFlow();
+    tcb.pendingFlags = EventFlags::finSeen | EventFlags::ackSeen;
+    tcb.rcvNxt += 1;
+    run(tcb);
+    EXPECT_EQ(tcb.state, ConnState::closeWait);
+
+    tcb.pendingFlags = EventFlags::closeRequest;
+    run(tcb, 2000);
+    EXPECT_EQ(tcb.state, ConnState::lastAck);
+
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.finSeq + 1;
+    run(tcb, 3000);
+    EXPECT_EQ(tcb.state, ConnState::closed);
+    EXPECT_TRUE(actions.releaseFlow);
+    bool closed = false;
+    for (const HostNotification &note : actions.notifications) {
+        if (note.kind == HostNotification::Kind::closed)
+            closed = true;
+    }
+    EXPECT_TRUE(closed);
+}
+
+TEST_F(FpuFixture, ResetAbortsImmediately)
+{
+    Tcb tcb = establishedFlow();
+    tcb.pendingFlags = EventFlags::rstSeen;
+    run(tcb);
+    EXPECT_EQ(tcb.state, ConnState::closed);
+    EXPECT_TRUE(actions.releaseFlow);
+    ASSERT_FALSE(actions.notifications.empty());
+    EXPECT_EQ(actions.notifications[0].kind, HostNotification::Kind::reset);
+}
+
+TEST_F(FpuFixture, RttEstimationFollowsRfc6298)
+{
+    Tcb tcb = establishedFlow();
+    tcb.req = tcb.sndNxt + 1000;
+    run(tcb, 1000); // sample starts at 1000 us
+
+    tcb.pendingFlags = EventFlags::ackSeen;
+    tcb.sndUna = tcb.sndNxt;
+    run(tcb, 11'000); // RTT sample = 10 ms
+
+    EXPECT_EQ(tcb.lastRttUs, 10'000u);
+    EXPECT_EQ(tcb.srttUs, 10'000u);
+    EXPECT_EQ(tcb.rttvarUs, 5'000u);
+    EXPECT_GE(tcb.rtoUs, 10'000u + 4 * 5'000u);
+    EXPECT_EQ(tcb.minRttUs, 10'000u);
+}
+
+TEST_F(FpuFixture, WindowUpdateAfterRecvOpensWindow)
+{
+    Tcb tcb = establishedFlow();
+    // Buffer nearly full: window below one MSS was advertised.
+    tcb.rcvNxt = 99001 + 512 * 1024 - 100;
+    tcb.userRead = 99001;
+    tcb.lastAckSent = tcb.rcvNxt;
+    tcb.lastWndAdvertised = tcb.rcvNxt + tcb.receiveWindow();
+    ASSERT_LT(tcb.receiveWindow(), 1460u);
+
+    // Application consumed everything (merge applied userRead).
+    tcb.userRead = tcb.rcvNxt;
+    run(tcb);
+
+    ASSERT_FALSE(actions.controls.empty());
+    EXPECT_EQ(actions.controls[0].flags, net::TcpFlags::ack);
+    EXPECT_GT(actions.controls[0].window, 500'000u);
+}
+
+TEST_F(FpuFixture, NeedsProcessingPredicateMatchesWork)
+{
+    Tcb idle = establishedFlow();
+    EXPECT_FALSE(FpuProgram::tcbNeedsProcessing(idle));
+
+    Tcb has_data = establishedFlow();
+    has_data.req = has_data.sndNxt + 100;
+    EXPECT_TRUE(FpuProgram::tcbNeedsProcessing(has_data));
+
+    Tcb has_flag = establishedFlow();
+    has_flag.pendingFlags = EventFlags::rtxTimeout;
+    EXPECT_TRUE(FpuProgram::tcbNeedsProcessing(has_flag));
+
+    Tcb has_ack = establishedFlow();
+    has_ack.sndUna += 100;
+    EXPECT_TRUE(FpuProgram::tcbNeedsProcessing(has_ack));
+
+    Tcb needs_ack = establishedFlow();
+    needs_ack.rcvNxt += 100;
+    EXPECT_TRUE(FpuProgram::tcbNeedsProcessing(needs_ack));
+
+    Tcb window_closed_waiting = establishedFlow();
+    window_closed_waiting.sndWnd = 0;
+    window_closed_waiting.req = window_closed_waiting.sndNxt + 100;
+    // Zero window with data queued: no send possible, but the probe
+    // path still needs a pass to arm the timer.
+    EXPECT_TRUE(FpuProgram::tcbNeedsProcessing(window_closed_waiting));
+}
+
+} // namespace
+} // namespace f4t::tcp

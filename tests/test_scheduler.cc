@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the memory orchestration machinery (Sections 4.3-4.4):
+ * event routing through the location LUT, coalescing, the pending
+ * queue for moving flows, FPC<->DRAM migration, swap-in via the check
+ * logic, capacity management, and load balancing across FPCs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/memory_manager.hh"
+#include "core/scheduler.hh"
+#include "mem/dram.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::core
+{
+namespace
+{
+
+struct SchedulerFixture : ::testing::Test
+{
+    sim::Simulation sim;
+    tcp::NewRenoPolicy cc;
+    tcp::FpuProgram program{cc};
+    std::unique_ptr<mem::DramModel> dram;
+    std::vector<std::unique_ptr<Fpc>> fpcs;
+    std::unique_ptr<Scheduler> scheduler;
+    std::unique_ptr<MemoryManager> memoryManager;
+
+    void
+    build(std::size_t num_fpcs, std::size_t slots_per_fpc,
+          mem::DramConfig dram_config = mem::DramConfig::hbm(),
+          std::size_t cache_lines = 64)
+    {
+        dram = std::make_unique<mem::DramModel>(sim, "dram", dram_config);
+
+        FpcConfig fpc_config;
+        fpc_config.slots = slots_per_fpc;
+        std::vector<Fpc *> raw;
+        for (std::size_t i = 0; i < num_fpcs; ++i) {
+            fpcs.push_back(std::make_unique<Fpc>(
+                sim, "fpc" + std::to_string(i), sim.engineClock(),
+                program, fpc_config));
+            raw.push_back(fpcs.back().get());
+        }
+
+        SchedulerConfig sched_config;
+        sched_config.maxFlows = 4096;
+        scheduler = std::make_unique<Scheduler>(
+            sim, "scheduler", sim.engineClock(), sched_config);
+        scheduler->attachFpcs(raw);
+
+        MemoryManagerConfig mm_config;
+        mm_config.cacheLines = cache_lines;
+        memoryManager = std::make_unique<MemoryManager>(
+            sim, "memoryManager", sim.engineClock(), *dram, mm_config);
+        memoryManager->setScheduler(scheduler.get());
+        scheduler->attachMemoryManager(memoryManager.get());
+    }
+
+    MigratingTcb
+    syntheticFlow(tcp::FlowId flow)
+    {
+        MigratingTcb fresh;
+        tcp::Tcb &tcb = fresh.tcb;
+        tcb.flowId = flow;
+        tcb.mss = 1460;
+        tcb.iss = tcp::FpuProgram::initialSequence(flow);
+        tcb.sndUna = tcb.iss + 1;
+        tcb.sndUnaProcessed = tcb.sndUna;
+        tcb.sndNxt = tcb.iss + 1;
+        tcb.req = tcb.iss + 1;
+        tcb.lastAckNotified = tcb.iss + 1;
+        tcb.state = tcp::ConnState::established;
+        tcb.sndWnd = 1u << 30;
+        tcb.cwnd = 1u << 30;
+        tcb.ssthresh = 1u << 30;
+        tcb.ccPhase = tcp::CcPhase::congestionAvoidance;
+        tcb.rcvNxt = 1;
+        tcb.userRead = 1;
+        tcb.lastAckSent = 1;
+        tcb.lastRcvNotified = 1;
+        tcb.lastWndAdvertised = 1 + tcb.receiveWindow();
+        return fresh;
+    }
+
+    tcp::TcpEvent
+    sendEvent(tcp::FlowId flow, std::uint32_t offset)
+    {
+        tcp::TcpEvent ev;
+        ev.flow = flow;
+        ev.type = tcp::TcpEventType::userSend;
+        ev.pointer = tcp::FpuProgram::initialSequence(flow) + 1 + offset;
+        return ev;
+    }
+
+    void
+    settle(double us = 20)
+    {
+        sim.runFor(sim::microsecondsToTicks(us));
+    }
+};
+
+TEST_F(SchedulerFixture, NewFlowsGoToLeastLoadedFpc)
+{
+    build(4, 8);
+    for (tcp::FlowId flow = 0; flow < 8; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+    // Round-robin-ish: every FPC got two flows.
+    for (auto &fpc : fpcs)
+        EXPECT_EQ(fpc->flowCount(), 2u);
+    for (tcp::FlowId flow = 0; flow < 8; ++flow)
+        EXPECT_EQ(scheduler->location(flow).kind, Location::Kind::fpc);
+}
+
+TEST_F(SchedulerFixture, OverflowFlowsFallToDram)
+{
+    build(1, 4);
+    for (tcp::FlowId flow = 0; flow < 10; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+    EXPECT_EQ(fpcs[0]->flowCount(), 4u);
+    EXPECT_EQ(memoryManager->flowCount(), 6u);
+    std::size_t in_dram = 0;
+    for (tcp::FlowId flow = 0; flow < 10; ++flow) {
+        if (scheduler->location(flow).kind == Location::Kind::dram)
+            ++in_dram;
+    }
+    EXPECT_EQ(in_dram, 6u);
+}
+
+TEST_F(SchedulerFixture, EventsRouteToTheRightDestination)
+{
+    build(2, 4);
+    scheduler->allocateFlow(syntheticFlow(0));
+    settle(1);
+    scheduler->allocateFlow(syntheticFlow(1));
+    settle(1);
+
+    scheduler->submitEvent(sendEvent(0, 100));
+    scheduler->submitEvent(sendEvent(1, 100));
+    settle(5);
+
+    EXPECT_EQ(fpcs[0]->eventsHandled() + fpcs[1]->eventsHandled(), 2u);
+    EXPECT_EQ(scheduler->eventsRouted(), 2u);
+}
+
+TEST_F(SchedulerFixture, CoalescingMergesSameFlowUserSends)
+{
+    build(1, 4);
+    scheduler->allocateFlow(syntheticFlow(0));
+    settle(1);
+
+    // Burst of sends for one flow submitted in one cycle: they meet in
+    // the coalesce FIFO before routing.
+    for (int i = 1; i <= 10; ++i)
+        scheduler->submitEvent(sendEvent(0, i * 100));
+    settle(5);
+
+    EXPECT_GT(scheduler->eventsCoalesced(), 0u);
+    // All information preserved: the flow's req reached the maximum.
+    tcp::Tcb merged = fpcs[0]->peekMergedTcb(0);
+    EXPECT_EQ(merged.req,
+              tcp::FpuProgram::initialSequence(0) + 1 + 1000);
+}
+
+TEST_F(SchedulerFixture, DupAckEventsAreNotCoalesced)
+{
+    build(1, 4);
+    scheduler->allocateFlow(syntheticFlow(0));
+    settle(1);
+    // Data in flight so duplicate ACKs mean something.
+    scheduler->submitEvent(sendEvent(0, 20000));
+    settle(5);
+
+    std::uint64_t coalesced_before = scheduler->eventsCoalesced();
+    net::SeqNum una = tcp::FpuProgram::initialSequence(0) + 1;
+    for (int i = 0; i < 3; ++i) {
+        tcp::TcpEvent dup;
+        dup.flow = 0;
+        dup.type = tcp::TcpEventType::rxSegment;
+        dup.tcpFlags = net::TcpFlags::ack;
+        dup.peerAck = una;
+        dup.rcvUpTo = 1;
+        dup.peerWnd = 1u << 30;
+        dup.isDupAck = true; // marked by the peer model
+        scheduler->submitEvent(dup);
+    }
+    settle(5);
+
+    EXPECT_EQ(scheduler->eventsCoalesced(), coalesced_before);
+    tcp::Tcb merged = fpcs[0]->peekMergedTcb(0);
+    EXPECT_EQ(merged.ccPhase, tcp::CcPhase::fastRecovery);
+}
+
+TEST_F(SchedulerFixture, DramResidentFlowSwapsInWhenItHasWork)
+{
+    build(1, 2);
+    // Fill the FPC, then add a DRAM-resident flow.
+    for (tcp::FlowId flow = 0; flow < 3; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+    ASSERT_EQ(scheduler->location(2).kind, Location::Kind::dram);
+
+    // An event gives flow 2 work; the check logic must swap it into
+    // the FPC (evicting a cold flow to make room).
+    scheduler->submitEvent(sendEvent(2, 500));
+    settle(50);
+
+    EXPECT_EQ(scheduler->location(2).kind, Location::Kind::fpc);
+    EXPECT_TRUE(fpcs[0]->hasFlow(2));
+    // The displaced flow went to DRAM.
+    EXPECT_EQ(memoryManager->flowCount(), 1u);
+    EXPECT_GE(scheduler->migrations(), 2u);
+
+    // ... and the swapped-in flow's work was done: req applied.
+    tcp::Tcb merged = fpcs[0]->peekMergedTcb(2);
+    EXPECT_EQ(merged.req,
+              tcp::FpuProgram::initialSequence(2) + 1 + 500);
+    EXPECT_EQ(merged.sndNxt, merged.req); // data sent after swap-in
+}
+
+TEST_F(SchedulerFixture, EventsForMovingFlowsWaitInPendingQueue)
+{
+    build(2, 2);
+    for (tcp::FlowId flow = 0; flow < 5; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+    ASSERT_EQ(scheduler->location(4).kind, Location::Kind::dram);
+
+    // Trigger the swap-in and immediately pile on more events: some
+    // hit the moving window and must be pended, never dropped.
+    for (int i = 1; i <= 8; ++i)
+        scheduler->submitEvent(sendEvent(4, i * 100));
+    settle(50);
+
+    EXPECT_EQ(scheduler->location(4).kind, Location::Kind::fpc);
+    tcp::FlowId fpc_idx = scheduler->location(4).fpcIndex;
+    tcp::Tcb merged = fpcs[fpc_idx]->peekMergedTcb(4);
+    EXPECT_EQ(merged.req,
+              tcp::FpuProgram::initialSequence(4) + 1 + 800);
+}
+
+TEST_F(SchedulerFixture, ManyFlowsChurnWithoutLossOrDeadlock)
+{
+    build(2, 4, mem::DramConfig::hbm(), 16);
+    constexpr tcp::FlowId flows = 64;
+    for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(0.5);
+    }
+
+    // Rounds of events over all flows: constant swapping through the
+    // 8 FPC slots. Every event's effect must eventually appear.
+    std::vector<std::uint32_t> req_offset(flows, 0);
+    sim::Random rng(77);
+    for (int round = 0; round < 10; ++round) {
+        for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+            req_offset[flow] += 100 + static_cast<std::uint32_t>(
+                                          rng.below(100));
+            scheduler->submitEvent(sendEvent(flow, req_offset[flow]));
+        }
+        settle(30);
+    }
+    settle(500);
+
+    for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+        Location loc = scheduler->location(flow);
+        tcp::Tcb merged;
+        if (loc.kind == Location::Kind::fpc) {
+            merged = fpcs[loc.fpcIndex]->peekMergedTcb(flow);
+        } else {
+            ASSERT_EQ(loc.kind, Location::Kind::dram)
+                << "flow " << flow << " stuck moving";
+            merged = memoryManager->peekMergedTcb(flow);
+        }
+        EXPECT_EQ(merged.req, tcp::FpuProgram::initialSequence(flow) + 1 +
+                                  req_offset[flow])
+            << "flow " << flow;
+    }
+}
+
+TEST_F(SchedulerFixture, FreeFlowReleasesEverywhere)
+{
+    build(1, 2);
+    for (tcp::FlowId flow = 0; flow < 3; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+    ASSERT_EQ(memoryManager->flowCount(), 1u);
+
+    scheduler->freeFlow(2); // the DRAM-resident one
+    EXPECT_EQ(memoryManager->flowCount(), 0u);
+    EXPECT_EQ(scheduler->location(2).kind, Location::Kind::unallocated);
+}
+
+TEST_F(SchedulerFixture, MemoryManagerCacheCountsHitsAndMisses)
+{
+    build(1, 2, mem::DramConfig::ddr4(), 4);
+    // 8 DRAM-resident flows vs a 4-line cache: guaranteed misses.
+    for (tcp::FlowId flow = 0; flow < 10; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+
+    // Window updates that give no work: events are handled in DRAM
+    // without triggering swap-ins.
+    for (int round = 0; round < 4; ++round) {
+        for (tcp::FlowId flow = 2; flow < 10; ++flow) {
+            tcp::TcpEvent ev;
+            ev.flow = flow;
+            ev.type = tcp::TcpEventType::rxSegment;
+            ev.tcpFlags = net::TcpFlags::ack;
+            ev.peerAck = tcp::FpuProgram::initialSequence(flow) + 1;
+            ev.rcvUpTo = 1;
+            ev.peerWnd = 1u << 30;
+            scheduler->submitEvent(ev);
+        }
+        settle(20);
+    }
+
+    EXPECT_GT(memoryManager->eventsHandled(), 0u);
+    EXPECT_GT(memoryManager->cacheMisses(), 0u);
+    EXPECT_GT(dram->requestCount(), 0u);
+}
+
+TEST_F(SchedulerFixture, CongestionTriggersRebalancing)
+{
+    build(2, 8);
+    // Two flows on FPC0 (allocation alternates, so pick explicitly by
+    // loading flow counts): allocate four flows, find two on one FPC.
+    for (tcp::FlowId flow = 0; flow < 4; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(1);
+    }
+
+    // Hammer the flows of FPC0 only so its input FIFO backs up while
+    // FPC1 idles; the scheduler should migrate one of them.
+    std::vector<tcp::FlowId> fpc0_flows;
+    for (tcp::FlowId flow = 0; flow < 4; ++flow) {
+        if (scheduler->location(flow).kind == Location::Kind::fpc &&
+            scheduler->location(flow).fpcIndex == 0) {
+            fpc0_flows.push_back(flow);
+        }
+    }
+    ASSERT_GE(fpc0_flows.size(), 2u);
+
+    std::uint32_t offset = 0;
+    for (int burst = 0; burst < 400; ++burst) {
+        offset += 10;
+        for (tcp::FlowId flow : fpc0_flows) {
+            tcp::TcpEvent ev = sendEvent(flow, offset);
+            // Alternate dup-ack-ineligible segment events so they do
+            // not coalesce into a single FIFO entry.
+            if (burst % 2) {
+                ev.type = tcp::TcpEventType::rxSegment;
+                ev.tcpFlags = net::TcpFlags::ack;
+                ev.peerAck = tcp::FpuProgram::initialSequence(flow) + 1;
+                ev.isDupAck = true;
+                ev.rcvUpTo = 1;
+                ev.peerWnd = 1u << 30;
+            }
+            scheduler->submitEvent(ev);
+        }
+    }
+    settle(100);
+
+    EXPECT_GT(scheduler->rebalances(), 0u);
+}
+
+} // namespace
+} // namespace f4t::core

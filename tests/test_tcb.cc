@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the dual-memory event semantics (Sections 4.2.1 and
+ * 4.2.3): accumulation by overwriting, per-field valid bits, the
+ * merge that reconstructs an up-to-date TCB, duplicate-ACK counting,
+ * and coalescing rules.
+ *
+ * The central property test checks the paper's core claim: deferring
+ * events in the event record and merging later is equivalent to
+ * applying every event immediately (atomic RMW), for any interleaving
+ * of cumulative events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/seq.hh"
+#include "sim/random.hh"
+#include "tcp/tcb.hh"
+
+namespace f4t::tcp
+{
+namespace
+{
+
+Tcb
+establishedTcb()
+{
+    Tcb tcb;
+    tcb.flowId = 1;
+    tcb.state = ConnState::established;
+    tcb.iss = 1000;
+    tcb.sndUna = 1001;
+    tcb.sndUnaProcessed = 1001;
+    tcb.sndNxt = 1001;
+    tcb.req = 1001;
+    tcb.sndWnd = 65536;
+    tcb.irs = 5000;
+    tcb.rcvNxt = 5001;
+    tcb.userRead = 5001;
+    tcb.lastAckSent = 5001;
+    tcb.lastRcvNotified = 5001;
+    tcb.lastAckNotified = 1001;
+    tcb.cwnd = 14600;
+    return tcb;
+}
+
+TcpEvent
+sendEvent(FlowId flow, net::SeqNum pointer)
+{
+    TcpEvent ev;
+    ev.flow = flow;
+    ev.type = TcpEventType::userSend;
+    ev.pointer = pointer;
+    return ev;
+}
+
+TcpEvent
+segmentEvent(FlowId flow, net::SeqNum ack, net::SeqNum rcv_up_to,
+             std::uint32_t wnd = 65536, bool data = false)
+{
+    TcpEvent ev;
+    ev.flow = flow;
+    ev.type = TcpEventType::rxSegment;
+    ev.tcpFlags = net::TcpFlags::ack;
+    ev.peerAck = ack;
+    ev.rcvUpTo = rcv_up_to;
+    ev.peerWnd = wnd;
+    ev.dataArrived = data;
+    return ev;
+}
+
+TEST(EventRecord, UserSendOverwritesWithNewestPointer)
+{
+    Tcb stored = establishedTcb();
+    EventRecord record;
+
+    accumulateEvent(record, stored, sendEvent(1, 1101));
+    accumulateEvent(record, stored, sendEvent(1, 1301));
+    EXPECT_TRUE(record.validMask & EventValid::req);
+    EXPECT_EQ(record.req, 1301u);
+
+    // An older pointer never regresses the accumulated value.
+    accumulateEvent(record, stored, sendEvent(1, 1201));
+    EXPECT_EQ(record.req, 1301u);
+}
+
+TEST(EventRecord, PaperWorkedExample)
+{
+    // Section 4.2.1: previous REQ is 1000; a 300 B send writes 1300.
+    Tcb stored;
+    stored.req = 1000;
+    stored.sndNxt = 1000;
+    stored.sndUna = 1000;
+    EventRecord record;
+    accumulateEvent(record, stored, sendEvent(0, 1300));
+    Tcb merged = merge(stored, record);
+    EXPECT_EQ(merged.req, 1300u);
+
+    // Section 4.2.2: eight 100 B requests at REQ 1000 equal one 800 B
+    // request: REQ becomes 1800.
+    EventRecord batch;
+    for (int i = 1; i <= 8; ++i)
+        accumulateEvent(batch, stored, sendEvent(0, 1000 + 100 * i));
+    EXPECT_EQ(merge(stored, batch).req, 1800u);
+}
+
+TEST(EventRecord, DuplicateAckIncrementsCounter)
+{
+    Tcb stored = establishedTcb();
+    stored.sndNxt = 3001; // data in flight
+    EventRecord record;
+
+    // Three identical pure ACKs -> three increments.
+    for (int i = 0; i < 3; ++i) {
+        bool dup = accumulateEvent(record, stored,
+                                   segmentEvent(1, 1001, 5001));
+        EXPECT_TRUE(dup);
+    }
+    EXPECT_EQ(record.dupAckIncr, 3);
+    EXPECT_TRUE(record.validMask & EventValid::dupAck);
+
+    Tcb merged = merge(stored, record);
+    EXPECT_EQ(merged.dupAcks, 3);
+}
+
+TEST(EventRecord, AdvancingAckIsNotDuplicate)
+{
+    Tcb stored = establishedTcb();
+    stored.sndNxt = 3001;
+    EventRecord record;
+
+    EXPECT_FALSE(accumulateEvent(record, stored,
+                                 segmentEvent(1, 2001, 5001)));
+    EXPECT_EQ(record.dupAckIncr, 0);
+    EXPECT_EQ(record.peerAck, 2001u);
+
+    // Same ACK again, but now it matches the *accumulated* peerAck:
+    // the handler's merged view makes it a duplicate.
+    EXPECT_TRUE(accumulateEvent(record, stored,
+                                segmentEvent(1, 2001, 5001)));
+    EXPECT_EQ(record.dupAckIncr, 1);
+}
+
+TEST(EventRecord, DataBearingSegmentIsNeverDuplicateAck)
+{
+    Tcb stored = establishedTcb();
+    stored.sndNxt = 3001;
+    EventRecord record;
+    EXPECT_FALSE(accumulateEvent(
+        record, stored,
+        segmentEvent(1, 1001, 5101, 65536, /*data=*/true)));
+    EXPECT_TRUE(record.flags & EventFlags::dataArrived);
+}
+
+TEST(EventRecord, WindowChangeIsNotDuplicateAck)
+{
+    Tcb stored = establishedTcb();
+    stored.sndNxt = 3001;
+    EventRecord record;
+    EXPECT_FALSE(accumulateEvent(record, stored,
+                                 segmentEvent(1, 1001, 5001, 32768)));
+    EXPECT_EQ(record.peerWnd, 32768u);
+}
+
+TEST(EventRecord, FlagsAccumulateByOr)
+{
+    Tcb stored = establishedTcb();
+    EventRecord record;
+
+    TcpEvent timeout;
+    timeout.flow = 1;
+    timeout.type = TcpEventType::timeout;
+    timeout.timeoutKind = TimeoutKind::retransmit;
+    accumulateEvent(record, stored, timeout);
+    timeout.timeoutKind = TimeoutKind::probe;
+    accumulateEvent(record, stored, timeout);
+
+    EXPECT_TRUE(record.flags & EventFlags::rtxTimeout);
+    EXPECT_TRUE(record.flags & EventFlags::probeTimeout);
+
+    Tcb merged = merge(stored, record);
+    EXPECT_TRUE(merged.pendingFlags & EventFlags::rtxTimeout);
+    EXPECT_TRUE(merged.pendingFlags & EventFlags::probeTimeout);
+}
+
+TEST(EventRecord, SynDeliversPeerIsnThroughMerge)
+{
+    Tcb stored;
+    stored.flowId = 2;
+    stored.passiveOpen = true;
+    EventRecord record;
+
+    TcpEvent syn;
+    syn.flow = 2;
+    syn.type = TcpEventType::rxSegment;
+    syn.tcpFlags = net::TcpFlags::syn;
+    syn.peerIsn = 0x9000'0000u;
+    syn.rcvUpTo = 0x9000'0001u;
+    accumulateEvent(record, stored, syn);
+
+    Tcb merged = merge(stored, record);
+    EXPECT_EQ(merged.irs, 0x9000'0000u);
+    EXPECT_EQ(merged.rcvNxt, 0x9000'0001u);
+    EXPECT_EQ(merged.userRead, 0x9000'0001u);
+    EXPECT_TRUE(merged.pendingFlags & EventFlags::synSeen);
+}
+
+TEST(Merge, EventFieldsOverrideOnlyWithValidBits)
+{
+    Tcb stored = establishedTcb();
+    EventRecord record; // empty: no valid bits
+    Tcb merged = merge(stored, record);
+    EXPECT_EQ(merged.req, stored.req);
+    EXPECT_EQ(merged.sndUna, stored.sndUna);
+    EXPECT_EQ(merged.rcvNxt, stored.rcvNxt);
+    EXPECT_EQ(merged.pendingFlags, 0u);
+}
+
+TEST(Merge, StaleFpuWritebackNeverRegressesCumulativeState)
+{
+    // The FPU's write-back is older than a fresher handler write: the
+    // merge must keep the maximum (Section 4.2.3's "late writes from
+    // FPU are stale").
+    Tcb stored = establishedTcb();
+    stored.sndUna = 2001; // FPU already saw an ACK up to 2001
+    EventRecord record;
+    record.validMask = EventValid::peerAck;
+    record.peerAck = 1500; // older accumulated value
+    EXPECT_EQ(merge(stored, record).sndUna, 2001u);
+
+    record.peerAck = 2500; // newer
+    EXPECT_EQ(merge(stored, record).sndUna, 2500u);
+}
+
+/**
+ * Property: for random streams of cumulative events, accumulate+merge
+ * equals the sequential oracle that applies each event immediately.
+ */
+class DeferredEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DeferredEquivalence, AccumulateThenMergeMatchesImmediateApply)
+{
+    sim::Random rng(GetParam());
+    Tcb stored = establishedTcb();
+    stored.sndNxt = 2001;
+
+    // Oracle state: apply every event immediately.
+    net::SeqNum oracle_req = stored.req;
+    net::SeqNum oracle_user = stored.userRead;
+    net::SeqNum oracle_ack = stored.sndUna;
+    net::SeqNum oracle_rcv = stored.rcvNxt;
+    std::uint32_t oracle_wnd = stored.sndWnd;
+    int oracle_dups = stored.dupAcks;
+
+    EventRecord record;
+    net::SeqNum req_ptr = stored.req;
+    net::SeqNum ack_ptr = stored.sndUna;
+    net::SeqNum rcv_ptr = stored.rcvNxt;
+
+    for (int i = 0; i < 500; ++i) {
+        switch (rng.below(4)) {
+          case 0: { // user send advances req
+            req_ptr += rng.below(2000);
+            accumulateEvent(record, stored, sendEvent(1, req_ptr));
+            oracle_req = net::seqMax(oracle_req, req_ptr);
+            break;
+          }
+          case 1: { // user recv advances read pointer
+            TcpEvent ev;
+            ev.flow = 1;
+            ev.type = TcpEventType::userRecv;
+            oracle_user += rng.below(500);
+            ev.pointer = oracle_user;
+            accumulateEvent(record, stored, ev);
+            break;
+          }
+          case 2: { // advancing ACK segment
+            ack_ptr += 1 + rng.below(1000);
+            std::uint32_t wnd = 32768 + static_cast<std::uint32_t>(
+                                            rng.below(32768));
+            accumulateEvent(record, stored,
+                            segmentEvent(1, ack_ptr, rcv_ptr, wnd));
+            oracle_ack = net::seqMax(oracle_ack, ack_ptr);
+            oracle_wnd = wnd;
+            // Note: accumulated dup-ACK increments survive later
+            // ACKs within one window; only the FPU resets the count.
+            break;
+          }
+          case 3: { // pure duplicate ACK
+            bool dup = accumulateEvent(
+                record, stored,
+                segmentEvent(1, ack_ptr, rcv_ptr, oracle_wnd));
+            // Duplicate only when ack equals the accumulated value and
+            // data is outstanding.
+            bool expect_dup =
+                net::seqGt(stored.sndNxt, ack_ptr) &&
+                ((record.validMask & EventValid::peerAck)
+                     ? ack_ptr == record.peerAck
+                     : ack_ptr == stored.sndUna);
+            EXPECT_EQ(dup, expect_dup);
+            if (dup)
+                ++oracle_dups;
+            break;
+          }
+        }
+    }
+
+    Tcb merged = merge(stored, record);
+    EXPECT_EQ(merged.req, oracle_req);
+    EXPECT_EQ(merged.userRead, oracle_user);
+    EXPECT_EQ(merged.sndUna, oracle_ack);
+    EXPECT_EQ(merged.sndWnd, oracle_wnd);
+    // dupAcks accumulated as stored.dupAcks + increments (capped).
+    EXPECT_EQ(merged.dupAcks,
+              std::min(255, stored.dupAcks + oracle_dups));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeferredEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// coalescing (Section 4.4.1)
+// ---------------------------------------------------------------------
+
+TEST(Coalesce, UserSendsAlwaysCoalesce)
+{
+    TcpEvent a = sendEvent(1, 1100);
+    TcpEvent b = sendEvent(1, 1500);
+    ASSERT_TRUE(TcpEvent::canCoalesce(a, b));
+    TcpEvent::coalesce(a, b);
+    EXPECT_EQ(a.pointer, 1500u);
+}
+
+TEST(Coalesce, DifferentFlowsNeverCoalesce)
+{
+    EXPECT_FALSE(TcpEvent::canCoalesce(sendEvent(1, 100),
+                                       sendEvent(2, 100)));
+}
+
+TEST(Coalesce, MonotoneSegmentsCoalesce)
+{
+    TcpEvent a = segmentEvent(1, 1000, 5000, 100, true);
+    TcpEvent b = segmentEvent(1, 1500, 6460, 200, true);
+    ASSERT_TRUE(TcpEvent::canCoalesce(a, b));
+    TcpEvent::coalesce(a, b);
+    EXPECT_EQ(a.peerAck, 1500u);
+    EXPECT_EQ(a.rcvUpTo, 6460u);
+    EXPECT_EQ(a.peerWnd, 200u);
+    EXPECT_TRUE(a.dataArrived);
+}
+
+TEST(Coalesce, DuplicateAcksNeverCoalesce)
+{
+    TcpEvent a = segmentEvent(1, 1000, 5000);
+    TcpEvent b = segmentEvent(1, 1000, 5000);
+    a.isDupAck = true;
+    EXPECT_FALSE(TcpEvent::canCoalesce(a, b));
+    a.isDupAck = false;
+    b.isDupAck = true;
+    EXPECT_FALSE(TcpEvent::canCoalesce(a, b));
+}
+
+TEST(Coalesce, ReorderingEvidenceBlocksCoalescing)
+{
+    // The later segment's cumulative state went backwards: a sign of
+    // reordering; coalescing would lose information.
+    TcpEvent a = segmentEvent(1, 2000, 6000);
+    TcpEvent b = segmentEvent(1, 1500, 5500);
+    EXPECT_FALSE(TcpEvent::canCoalesce(a, b));
+}
+
+TEST(Coalesce, ControlFlagsBlockCoalescing)
+{
+    TcpEvent a = segmentEvent(1, 1000, 5000);
+    TcpEvent fin = segmentEvent(1, 1000, 5100);
+    fin.tcpFlags |= net::TcpFlags::fin;
+    EXPECT_FALSE(TcpEvent::canCoalesce(a, fin));
+    EXPECT_FALSE(TcpEvent::canCoalesce(fin, a));
+}
+
+TEST(Coalesce, TimeoutsOfSameKindCoalesce)
+{
+    TcpEvent a, b;
+    a.flow = b.flow = 1;
+    a.type = b.type = TcpEventType::timeout;
+    a.timeoutKind = b.timeoutKind = TimeoutKind::retransmit;
+    EXPECT_TRUE(TcpEvent::canCoalesce(a, b));
+    b.timeoutKind = TimeoutKind::probe;
+    EXPECT_FALSE(TcpEvent::canCoalesce(a, b));
+}
+
+} // namespace
+} // namespace f4t::tcp
