@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nginx_linux.dir/fig01_nginx_linux.cc.o"
+  "CMakeFiles/fig01_nginx_linux.dir/fig01_nginx_linux.cc.o.d"
+  "fig01_nginx_linux"
+  "fig01_nginx_linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nginx_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

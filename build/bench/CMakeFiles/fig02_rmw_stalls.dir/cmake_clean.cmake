@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rmw_stalls.dir/fig02_rmw_stalls.cc.o"
+  "CMakeFiles/fig02_rmw_stalls.dir/fig02_rmw_stalls.cc.o.d"
+  "fig02_rmw_stalls"
+  "fig02_rmw_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rmw_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_rmw_stalls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_resources.dir/fig07_resources.cc.o"
+  "CMakeFiles/fig07_resources.dir/fig07_resources.cc.o.d"
+  "fig07_resources"
+  "fig07_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_request_sizes.dir/fig09_request_sizes.cc.o"
+  "CMakeFiles/fig09_request_sizes.dir/fig09_request_sizes.cc.o.d"
+  "fig09_request_sizes"
+  "fig09_request_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_request_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

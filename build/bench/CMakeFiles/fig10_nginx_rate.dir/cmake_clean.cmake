@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nginx_rate.dir/fig10_nginx_rate.cc.o"
+  "CMakeFiles/fig10_nginx_rate.dir/fig10_nginx_rate.cc.o.d"
+  "fig10_nginx_rate"
+  "fig10_nginx_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nginx_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

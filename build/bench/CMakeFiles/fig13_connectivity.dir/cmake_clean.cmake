@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_connectivity.dir/fig13_connectivity.cc.o"
+  "CMakeFiles/fig13_connectivity.dir/fig13_connectivity.cc.o.d"
+  "fig13_connectivity"
+  "fig13_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cwnd.dir/fig14_cwnd.cc.o"
+  "CMakeFiles/fig14_cwnd.dir/fig14_cwnd.cc.o.d"
+  "fig14_cwnd"
+  "fig14_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_versatility.dir/fig15_versatility.cc.o"
+  "CMakeFiles/fig15_versatility.dir/fig15_versatility.cc.o.d"
+  "fig15_versatility"
+  "fig15_versatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_versatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_header_scaling.dir/fig16a_header_scaling.cc.o"
+  "CMakeFiles/fig16a_header_scaling.dir/fig16a_header_scaling.cc.o.d"
+  "fig16a_header_scaling"
+  "fig16a_header_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_header_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_ablation.dir/fig16b_ablation.cc.o"
+  "CMakeFiles/fig16b_ablation.dir/fig16b_ablation.cc.o.d"
+  "fig16b_ablation"
+  "fig16b_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_situations.dir/tab02_situations.cc.o"
+  "CMakeFiles/tab02_situations.dir/tab02_situations.cc.o.d"
+  "tab02_situations"
+  "tab02_situations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_situations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_value_echo.dir/key_value_echo.cpp.o"
+  "CMakeFiles/key_value_echo.dir/key_value_echo.cpp.o.d"
+  "key_value_echo"
+  "key_value_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_value_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_apps.dir/http.cc.o"
+  "CMakeFiles/f4t_apps.dir/http.cc.o.d"
+  "CMakeFiles/f4t_apps.dir/workloads.cc.o"
+  "CMakeFiles/f4t_apps.dir/workloads.cc.o.d"
+  "libf4t_apps.a"
+  "libf4t_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_baseline.dir/linux_host.cc.o"
+  "CMakeFiles/f4t_baseline.dir/linux_host.cc.o.d"
+  "CMakeFiles/f4t_baseline.dir/stalling_engine.cc.o"
+  "CMakeFiles/f4t_baseline.dir/stalling_engine.cc.o.d"
+  "libf4t_baseline.a"
+  "libf4t_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

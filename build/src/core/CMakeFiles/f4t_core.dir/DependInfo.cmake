@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/f4t_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/fpc.cc" "src/core/CMakeFiles/f4t_core.dir/fpc.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/fpc.cc.o.d"
+  "/root/repo/src/core/host_interface.cc" "src/core/CMakeFiles/f4t_core.dir/host_interface.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/host_interface.cc.o.d"
+  "/root/repo/src/core/memory_manager.cc" "src/core/CMakeFiles/f4t_core.dir/memory_manager.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/memory_manager.cc.o.d"
+  "/root/repo/src/core/packet_generator.cc" "src/core/CMakeFiles/f4t_core.dir/packet_generator.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/packet_generator.cc.o.d"
+  "/root/repo/src/core/resource_model.cc" "src/core/CMakeFiles/f4t_core.dir/resource_model.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/resource_model.cc.o.d"
+  "/root/repo/src/core/rx_parser.cc" "src/core/CMakeFiles/f4t_core.dir/rx_parser.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/rx_parser.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/f4t_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/f4t_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/f4t_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/f4t_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/f4t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/f4t_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/f4t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_core.dir/engine.cc.o"
+  "CMakeFiles/f4t_core.dir/engine.cc.o.d"
+  "CMakeFiles/f4t_core.dir/fpc.cc.o"
+  "CMakeFiles/f4t_core.dir/fpc.cc.o.d"
+  "CMakeFiles/f4t_core.dir/host_interface.cc.o"
+  "CMakeFiles/f4t_core.dir/host_interface.cc.o.d"
+  "CMakeFiles/f4t_core.dir/memory_manager.cc.o"
+  "CMakeFiles/f4t_core.dir/memory_manager.cc.o.d"
+  "CMakeFiles/f4t_core.dir/packet_generator.cc.o"
+  "CMakeFiles/f4t_core.dir/packet_generator.cc.o.d"
+  "CMakeFiles/f4t_core.dir/resource_model.cc.o"
+  "CMakeFiles/f4t_core.dir/resource_model.cc.o.d"
+  "CMakeFiles/f4t_core.dir/rx_parser.cc.o"
+  "CMakeFiles/f4t_core.dir/rx_parser.cc.o.d"
+  "CMakeFiles/f4t_core.dir/scheduler.cc.o"
+  "CMakeFiles/f4t_core.dir/scheduler.cc.o.d"
+  "libf4t_core.a"
+  "libf4t_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

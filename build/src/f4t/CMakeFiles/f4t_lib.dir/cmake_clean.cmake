@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_lib.dir/library.cc.o"
+  "CMakeFiles/f4t_lib.dir/library.cc.o.d"
+  "CMakeFiles/f4t_lib.dir/runtime.cc.o"
+  "CMakeFiles/f4t_lib.dir/runtime.cc.o.d"
+  "libf4t_lib.a"
+  "libf4t_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libf4t_lib.a"
+)

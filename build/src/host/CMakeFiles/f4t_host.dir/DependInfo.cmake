@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/command_queue.cc" "src/host/CMakeFiles/f4t_host.dir/command_queue.cc.o" "gcc" "src/host/CMakeFiles/f4t_host.dir/command_queue.cc.o.d"
+  "/root/repo/src/host/cpu.cc" "src/host/CMakeFiles/f4t_host.dir/cpu.cc.o" "gcc" "src/host/CMakeFiles/f4t_host.dir/cpu.cc.o.d"
+  "/root/repo/src/host/pcie.cc" "src/host/CMakeFiles/f4t_host.dir/pcie.cc.o" "gcc" "src/host/CMakeFiles/f4t_host.dir/pcie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/f4t_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/f4t_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/f4t_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_host.dir/command_queue.cc.o"
+  "CMakeFiles/f4t_host.dir/command_queue.cc.o.d"
+  "CMakeFiles/f4t_host.dir/cpu.cc.o"
+  "CMakeFiles/f4t_host.dir/cpu.cc.o.d"
+  "CMakeFiles/f4t_host.dir/pcie.cc.o"
+  "CMakeFiles/f4t_host.dir/pcie.cc.o.d"
+  "libf4t_host.a"
+  "libf4t_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_mem.dir/dram.cc.o"
+  "CMakeFiles/f4t_mem.dir/dram.cc.o.d"
+  "libf4t_mem.a"
+  "libf4t_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_net.dir/headers.cc.o"
+  "CMakeFiles/f4t_net.dir/headers.cc.o.d"
+  "CMakeFiles/f4t_net.dir/link.cc.o"
+  "CMakeFiles/f4t_net.dir/link.cc.o.d"
+  "CMakeFiles/f4t_net.dir/packet.cc.o"
+  "CMakeFiles/f4t_net.dir/packet.cc.o.d"
+  "libf4t_net.a"
+  "libf4t_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

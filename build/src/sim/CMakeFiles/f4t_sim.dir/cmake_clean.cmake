@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_sim.dir/event_queue.cc.o"
+  "CMakeFiles/f4t_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/f4t_sim.dir/logging.cc.o"
+  "CMakeFiles/f4t_sim.dir/logging.cc.o.d"
+  "CMakeFiles/f4t_sim.dir/stats.cc.o"
+  "CMakeFiles/f4t_sim.dir/stats.cc.o.d"
+  "libf4t_sim.a"
+  "libf4t_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

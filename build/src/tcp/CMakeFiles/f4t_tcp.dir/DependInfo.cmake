@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cc" "src/tcp/CMakeFiles/f4t_tcp.dir/congestion.cc.o" "gcc" "src/tcp/CMakeFiles/f4t_tcp.dir/congestion.cc.o.d"
+  "/root/repo/src/tcp/fpu_program.cc" "src/tcp/CMakeFiles/f4t_tcp.dir/fpu_program.cc.o" "gcc" "src/tcp/CMakeFiles/f4t_tcp.dir/fpu_program.cc.o.d"
+  "/root/repo/src/tcp/soft_tcp.cc" "src/tcp/CMakeFiles/f4t_tcp.dir/soft_tcp.cc.o" "gcc" "src/tcp/CMakeFiles/f4t_tcp.dir/soft_tcp.cc.o.d"
+  "/root/repo/src/tcp/tcb.cc" "src/tcp/CMakeFiles/f4t_tcp.dir/tcb.cc.o" "gcc" "src/tcp/CMakeFiles/f4t_tcp.dir/tcb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/f4t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/f4t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

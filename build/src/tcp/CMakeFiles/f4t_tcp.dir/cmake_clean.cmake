@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4t_tcp.dir/congestion.cc.o"
+  "CMakeFiles/f4t_tcp.dir/congestion.cc.o.d"
+  "CMakeFiles/f4t_tcp.dir/fpu_program.cc.o"
+  "CMakeFiles/f4t_tcp.dir/fpu_program.cc.o.d"
+  "CMakeFiles/f4t_tcp.dir/soft_tcp.cc.o"
+  "CMakeFiles/f4t_tcp.dir/soft_tcp.cc.o.d"
+  "CMakeFiles/f4t_tcp.dir/tcb.cc.o"
+  "CMakeFiles/f4t_tcp.dir/tcb.cc.o.d"
+  "libf4t_tcp.a"
+  "libf4t_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4t_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

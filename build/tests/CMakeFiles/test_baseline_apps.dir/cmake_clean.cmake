@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_apps.dir/test_baseline_apps.cc.o"
+  "CMakeFiles/test_baseline_apps.dir/test_baseline_apps.cc.o.d"
+  "test_baseline_apps"
+  "test_baseline_apps.pdb"
+  "test_baseline_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_congestion.cc" "tests/CMakeFiles/test_congestion.dir/test_congestion.cc.o" "gcc" "tests/CMakeFiles/test_congestion.dir/test_congestion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/f4t_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/f4t/CMakeFiles/f4t_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/f4t_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/f4t_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/f4t_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/f4t_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/f4t_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/f4t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/f4t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

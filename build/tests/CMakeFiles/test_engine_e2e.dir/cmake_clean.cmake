@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_e2e.dir/test_engine_e2e.cc.o"
+  "CMakeFiles/test_engine_e2e.dir/test_engine_e2e.cc.o.d"
+  "test_engine_e2e"
+  "test_engine_e2e.pdb"
+  "test_engine_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

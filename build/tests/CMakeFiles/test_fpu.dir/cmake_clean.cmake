@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpu.dir/test_fpu.cc.o"
+  "CMakeFiles/test_fpu.dir/test_fpu.cc.o.d"
+  "test_fpu"
+  "test_fpu.pdb"
+  "test_fpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

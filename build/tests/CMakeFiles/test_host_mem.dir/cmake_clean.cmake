@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_mem.dir/test_host_mem.cc.o"
+  "CMakeFiles/test_host_mem.dir/test_host_mem.cc.o.d"
+  "test_host_mem"
+  "test_host_mem.pdb"
+  "test_host_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

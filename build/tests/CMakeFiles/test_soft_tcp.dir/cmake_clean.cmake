@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soft_tcp.dir/test_soft_tcp.cc.o"
+  "CMakeFiles/test_soft_tcp.dir/test_soft_tcp.cc.o.d"
+  "test_soft_tcp"
+  "test_soft_tcp.pdb"
+  "test_soft_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soft_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

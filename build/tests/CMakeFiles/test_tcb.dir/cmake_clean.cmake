@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcb.dir/test_tcb.cc.o"
+  "CMakeFiles/test_tcb.dir/test_tcb.cc.o.d"
+  "test_tcb"
+  "test_tcb.pdb"
+  "test_tcb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_engine_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_tcb[1]_include.cmake")
+include("/root/repo/build/tests/test_congestion[1]_include.cmake")
+include("/root/repo/build/tests/test_fpu[1]_include.cmake")
+include("/root/repo/build/tests/test_fpc[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_soft_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_host_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_features[1]_include.cmake")
