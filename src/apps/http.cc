@@ -120,7 +120,7 @@ HttpLoadGenApp::connectNext(std::size_t index)
     api_.connect(config_.peer, config_.port);
     api_.simulation().queue().scheduleCallback(
         api_.simulation().now() + config_.connectSpacing,
-        [this, index] { connectNext(index + 1); });
+        "http.connectNext", [this, index] { connectNext(index + 1); });
 }
 
 void

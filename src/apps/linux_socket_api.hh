@@ -139,14 +139,15 @@ class LinuxSocketApi : public SocketApi
 
     /** Jittered, core-serialized upcall delivery. */
     void
-    deliver(std::function<void()> fn)
+    deliver(sim::SmallFunction fn)
     {
         sim::Tick delay = host_.jitterDelay();
         sim::Tick when = sim_.now() + delay;
         sim::Tick busy = core().busyUntil();
         if (busy > when)
             when = busy;
-        sim_.queue().scheduleCallback(when, std::move(fn));
+        sim_.queue().scheduleCallback(when, "linuxapi.deliver",
+                                      std::move(fn));
     }
 
     sim::Simulation &sim_;

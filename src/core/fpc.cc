@@ -128,8 +128,8 @@ Fpc::slotEligible(const Slot &slot, std::size_t index) const
 bool
 Fpc::fifoHoldsFlow(tcp::FlowId flow) const
 {
-    for (const tcp::TcpEvent &ev : inputFifo_) {
-        if (ev.flow == flow)
+    for (std::size_t i = 0; i < inputFifo_.size(); ++i) {
+        if (inputFifo_.at(i).flow == flow)
             return true;
     }
     return false;
@@ -151,21 +151,25 @@ Fpc::tick()
         if (!inputFifo_.empty()) {
             tcp::TcpEvent event = inputFifo_.front();
             inputFifo_.pop_front();
-            handleEvent(event);
+            handleEvent(event, cycle);
         }
     } else {
         // Dotted cycle: FPU write-back, then the TCB manager examines
         // the next round-robin slot and issues it if it has work.
         if (!fpuPipe_.empty() && fpuPipe_.front().readyCycle <= cycle) {
-            FpuJob job = std::move(fpuPipe_.front());
+            // Write back straight from the pipe slot: a FpuJob carries
+            // a whole TCB, not worth an extra move. Nothing reached
+            // from writeback() touches fpuPipe_ (only issueSlot(),
+            // called below, pushes to it).
+            writeback(fpuPipe_.front(), cycle);
             fpuPipe_.pop_front();
-            writeback(job);
         }
 
         std::size_t index = rrIndex_;
-        rrIndex_ = (rrIndex_ + 1) % slots_.size();
+        if (++rrIndex_ == slots_.size())
+            rrIndex_ = 0;
         if (slotEligible(slots_[index], index))
-            issueSlot(index);
+            issueSlot(index, cycle);
     }
 
     // Stay active while any work remains; otherwise deschedule.
@@ -191,40 +195,44 @@ Fpc::tick()
 }
 
 void
-Fpc::handleEvent(const tcp::TcpEvent &event)
+Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
 {
     ++eventsHandled_;
     std::size_t index = cam_.lookup(event.flow);
     Slot &slot = slots_[index];
-    slot.lastActiveCycle = curCycle();
+    slot.lastActiveCycle = cycle;
 
-    tcp::EventRecord record = eventTable_.read(index);
     // The handler reads both memories every cycle for its merged view
-    // (needed for single-cycle duplicate-ACK detection).
+    // (needed for single-cycle duplicate-ACK detection); the event
+    // record update is the BRAM's single-cycle RMW.
+    tcp::EventRecord &record = eventTable_.readModifyWrite(index);
     const tcp::Tcb &stored = tcbTable_.read(index);
     if (tcp::accumulateEvent(record, stored, event))
         ++dupAckIncrements_;
-    eventTable_.write(index, record);
 }
 
 void
-Fpc::issueSlot(std::size_t index)
+Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
 {
     Slot &slot = slots_[index];
-    tcp::Tcb merged = tcp::merge(tcbTable_.read(index),
-                                 eventTable_.read(index));
+    FpuJob &job = fpuPipe_.push_default();
+    // Merge straight into the pipe slot: one table read into the job
+    // plus the in-place event overlay, no intermediate TCB copy.
+    job.merged = tcbTable_.read(index);
+    tcp::mergeInto(job.merged, eventTable_.read(index));
     // Clearing the valid bits is the event table's write this cycle.
     tcp::EventRecord cleared;
     eventTable_.peekMutable(index) = cleared;
 
     slot.inFpu = true;
     ++fpuPasses_;
-    fpuPipe_.push_back(FpuJob{curCycle() + fpuLatency_, index, slot.flow,
-                              std::move(merged)});
+    job.readyCycle = cycle + fpuLatency_;
+    job.slotIndex = index;
+    job.flow = slot.flow;
 }
 
 void
-Fpc::writeback(FpuJob &job)
+Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 {
     Slot &slot = slots_[job.slotIndex];
     f4t_assert(slot.occupied && slot.flow == job.flow,
@@ -234,7 +242,7 @@ Fpc::writeback(FpuJob &job)
     program_.process(job.merged, nowUs(), actions);
 
     slot.inFpu = false;
-    slot.lastActiveCycle = curCycle();
+    slot.lastActiveCycle = cycle;
 
     if (actions.releaseFlow) {
         // Connection finished: recycle the slot.

@@ -28,13 +28,12 @@
 #define F4T_CORE_FPC_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/bram.hh"
+#include "sim/ring_fifo.hh"
 #include "sim/simulation.hh"
 #include "tcp/fpu_program.hh"
 #include "tcp/tcb.hh"
@@ -56,6 +55,11 @@ struct MigratingTcb
  * array + binary log; a lookup hits exactly one entry by construction
  * (the scheduler only routes events to the FPC holding the flow),
  * which this model asserts.
+ *
+ * The host-side implementation is a small open-addressing hash table
+ * (linear probing, tombstone deletion) rather than std::unordered_map:
+ * every handled event performs a lookup, so the table must resolve a
+ * hit in one or two probes of a flat, cache-resident array.
  */
 class FlowCam
 {
@@ -65,45 +69,130 @@ class FlowCam
         freeSlots_.reserve(slots);
         for (std::size_t i = slots; i > 0; --i)
             freeSlots_.push_back(i - 1);
+        // Capacity 4x the slot count keeps the load factor under 25%,
+        // so probe chains stay short even with tombstones around.
+        std::size_t cap = 16;
+        while (cap < slots * 4)
+            cap <<= 1;
+        cells_.resize(cap);
     }
 
     bool full() const { return freeSlots_.empty(); }
-    std::size_t occupancy() const { return map_.size(); }
+    std::size_t occupancy() const { return occupancy_; }
 
     std::size_t
     insert(tcp::FlowId flow)
     {
         f4t_assert(!full(), "CAM insert into full FPC");
-        f4t_assert(!map_.count(flow), "CAM double insert of flow %u", flow);
+        f4t_assert(findCell(flow) == nullptr,
+                   "CAM double insert of flow %u", flow);
         std::size_t slot = freeSlots_.back();
         freeSlots_.pop_back();
-        map_.emplace(flow, slot);
+
+        std::size_t idx = probeStart(flow);
+        while (cells_[idx].state == Cell::fullState)
+            idx = nextProbe(idx);
+        if (cells_[idx].state == Cell::deadState)
+            --tombstones_;
+        cells_[idx] = Cell{flow, static_cast<std::uint32_t>(slot),
+                           Cell::fullState};
+        ++occupancy_;
         return slot;
     }
 
     void
     erase(tcp::FlowId flow)
     {
-        auto it = map_.find(flow);
-        f4t_assert(it != map_.end(), "CAM erase of absent flow %u", flow);
-        freeSlots_.push_back(it->second);
-        map_.erase(it);
+        Cell *cell = findCell(flow);
+        f4t_assert(cell != nullptr, "CAM erase of absent flow %u", flow);
+        freeSlots_.push_back(cell->slot);
+        cell->state = Cell::deadState;
+        --occupancy_;
+        ++tombstones_;
+        // Tombstones lengthen every future probe chain; once they
+        // rival a quarter of the table, rebuild it clean.
+        if (tombstones_ * 4 > cells_.size())
+            rebuild();
     }
 
     /** The single matching entry; asserts the hit exists. */
     std::size_t
     lookup(tcp::FlowId flow) const
     {
-        auto it = map_.find(flow);
-        f4t_assert(it != map_.end(), "CAM miss for flow %u — the "
+        const Cell *cell = findCell(flow);
+        f4t_assert(cell != nullptr, "CAM miss for flow %u — the "
                    "scheduler routed an event to the wrong FPC", flow);
-        return it->second;
+        return cell->slot;
     }
 
-    bool contains(tcp::FlowId flow) const { return map_.count(flow) != 0; }
+    bool contains(tcp::FlowId flow) const { return findCell(flow) != nullptr; }
 
   private:
-    std::unordered_map<tcp::FlowId, std::size_t> map_;
+    struct Cell
+    {
+        static constexpr std::uint8_t emptyState = 0;
+        static constexpr std::uint8_t fullState = 1;
+        static constexpr std::uint8_t deadState = 2; ///< tombstone
+
+        tcp::FlowId key = 0;
+        std::uint32_t slot = 0;
+        std::uint8_t state = emptyState;
+    };
+
+    std::size_t
+    probeStart(tcp::FlowId flow) const
+    {
+        // Fibonacci hashing spreads the (often sequential) flow IDs.
+        std::uint64_t h = flow * 0x9E3779B97F4A7C15ULL;
+        return static_cast<std::size_t>(h >> 32) & (cells_.size() - 1);
+    }
+
+    std::size_t
+    nextProbe(std::size_t idx) const
+    {
+        return (idx + 1) & (cells_.size() - 1);
+    }
+
+    const Cell *
+    findCell(tcp::FlowId flow) const
+    {
+        std::size_t idx = probeStart(flow);
+        while (true) {
+            const Cell &cell = cells_[idx];
+            if (cell.state == Cell::emptyState)
+                return nullptr;
+            if (cell.state == Cell::fullState && cell.key == flow)
+                return &cell;
+            idx = nextProbe(idx);
+        }
+    }
+
+    Cell *
+    findCell(tcp::FlowId flow)
+    {
+        return const_cast<Cell *>(
+            static_cast<const FlowCam *>(this)->findCell(flow));
+    }
+
+    void
+    rebuild()
+    {
+        std::vector<Cell> old = std::move(cells_);
+        cells_.assign(old.size(), Cell{});
+        tombstones_ = 0;
+        for (const Cell &cell : old) {
+            if (cell.state != Cell::fullState)
+                continue;
+            std::size_t idx = probeStart(cell.key);
+            while (cells_[idx].state == Cell::fullState)
+                idx = nextProbe(idx);
+            cells_[idx] = cell;
+        }
+    }
+
+    std::vector<Cell> cells_;
+    std::size_t occupancy_ = 0;
+    std::size_t tombstones_ = 0;
     std::vector<std::size_t> freeSlots_;
 };
 
@@ -196,12 +285,12 @@ class Fpc : public sim::ClockedObject
         tcp::Tcb merged;
     };
 
-    void handleEvent(const tcp::TcpEvent &event);
+    void handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle);
     void handlerApplySegment(std::size_t slot_index,
                              const tcp::TcpEvent &event);
     bool slotEligible(const Slot &slot, std::size_t index) const;
-    void issueSlot(std::size_t index);
-    void writeback(FpuJob &job);
+    void issueSlot(std::size_t index, sim::Cycles cycle);
+    void writeback(FpuJob &job, sim::Cycles cycle);
     bool fifoHoldsFlow(tcp::FlowId flow) const;
     std::uint64_t nowUs() const { return now() / 1'000'000; }
 
@@ -209,12 +298,12 @@ class Fpc : public sim::ClockedObject
     FpcConfig config_;
     unsigned fpuLatency_;
 
-    std::deque<tcp::TcpEvent> inputFifo_;
+    sim::RingFifo<tcp::TcpEvent> inputFifo_;
     std::vector<Slot> slots_;
     mem::DualPortBram<tcp::Tcb> tcbTable_;
     mem::DualPortBram<tcp::EventRecord> eventTable_;
     FlowCam cam_;
-    std::deque<FpuJob> fpuPipe_;
+    sim::RingFifo<FpuJob> fpuPipe_;
     std::size_t rrIndex_ = 0;
     sim::Cycles lastInstallCycle_ = 0;
     bool installUsedThisWindow_ = false;

@@ -123,7 +123,7 @@ HostInterface::postCompletion(tcp::FlowId flow, const host::Command &command)
         return;
     state.flushScheduled = true;
     queue().scheduleCallback(now() + config_.completionFlushDelay,
-                             [this, queue_index] {
+                             "hostif.flushCompletions", [this, queue_index] {
                                  flushCompletions(queue_index);
                              });
 }

@@ -62,7 +62,8 @@ MemoryManager::insertFlow(MigratingTcb &&incoming,
     }
     swapRequested_.erase(flow);
     if (on_complete)
-        queue().scheduleCallback(arrival, std::move(on_complete));
+        queue().scheduleCallback(arrival, "memmgr.insert",
+                                 std::move(on_complete));
 
     // The arriving TCB may already carry work (e.g., events accumulated
     // while the flow was migrating); the check logic looks right away.
@@ -109,7 +110,8 @@ MemoryManager::extractFlow(tcp::FlowId flow,
         ready = dram_.accessTime(tcp::tcbWireBytes);
     }
     queue().scheduleCallback(
-        ready, [cb = std::move(on_ready), tcb = std::move(leaving)]() mutable {
+        ready, "memmgr.extract",
+        [cb = std::move(on_ready), tcb = std::move(leaving)]() mutable {
             cb(std::move(tcb));
         });
 }
@@ -181,7 +183,7 @@ MemoryManager::applyEvent(const tcp::TcpEvent &event)
         return; // fetch already in flight
 
     tcp::FlowId flow = event.flow;
-    queue().scheduleCallback(miss_ready, [this, flow] {
+    queue().scheduleCallback(miss_ready, "memmgr.missReady", [this, flow] {
         auto mq_it = missQueues_.find(flow);
         if (mq_it == missQueues_.end())
             return;

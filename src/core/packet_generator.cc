@@ -34,7 +34,7 @@ PacketGenerator::emit(net::Packet &&pkt, sim::Tick when)
         transmit_(std::move(pkt));
         return;
     }
-    queue().scheduleCallback(when,
+    queue().scheduleCallback(when, "pktgen.emit",
                              [this, p = std::move(pkt)]() mutable {
                                  transmit_(std::move(p));
                              });
@@ -60,7 +60,7 @@ PacketGenerator::requestSegments(const tcp::SegmentRequest &request)
         tcp.flags = net::TcpFlags::ack | net::TcpFlags::psh;
         tcp.window = request.window;
 
-        std::vector<std::uint8_t> payload(chunk);
+        net::PayloadBuffer payload(chunk);
         sim::Tick data_ready = now();
         if (payload_)
             data_ready = payload_->fetchPayload(request.flow, seq, payload);
@@ -102,7 +102,7 @@ PacketGenerator::requestControl(const tcp::ControlRequest &request)
     tcp.window = request.window;
     tcp.mssOption = request.mssOption;
 
-    std::vector<std::uint8_t> payload;
+    net::PayloadBuffer payload;
     sim::Tick data_ready = now();
     if (request.windowProbe) {
         // One byte of already-queued data keeps the probe legal.

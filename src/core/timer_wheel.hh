@@ -47,7 +47,7 @@ class TimerWheel : public sim::SimObject
                          1'000'000ULL;
         if (when < now())
             when = now();
-        queue().scheduleCallback(when, [this, key, generation] {
+        queue().scheduleCallback(when, "timer.fire", [this, key, generation] {
             auto it = generations_.find(key);
             if (it == generations_.end() || it->second != generation)
                 return;

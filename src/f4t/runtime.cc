@@ -69,7 +69,8 @@ F4tRuntime::onCompletionsArrived(std::size_t q)
     sim::Tick wake = now();
     if (client.core && client.core->idle())
         wake += sim::microsecondsToTicks(host::f4tWakeLatencyUs);
-    SimObject::queue().scheduleCallback(wake, [this, q] { pollQueue(q); });
+    SimObject::queue().scheduleCallback(wake, "runtime.poll",
+                                        [this, q] { pollQueue(q); });
 }
 
 void
@@ -89,7 +90,8 @@ F4tRuntime::pollQueue(std::size_t q)
         if (client.core && client.core->busyUntil() > now()) {
             client.pollScheduled = true;
             SimObject::queue().scheduleCallback(
-                client.core->busyUntil(), [this, q] { pollQueue(q); });
+                client.core->busyUntil(), "runtime.poll",
+                [this, q] { pollQueue(q); });
             return;
         }
         host::Command command = pair.cq.pop();

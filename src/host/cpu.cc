@@ -29,18 +29,18 @@ CpuCore::charge(tcp::CostCategory category, double cycles)
 
 void
 CpuCore::runAfterCharge(tcp::CostCategory category, double cycles,
-                        std::function<void()> fn)
+                        sim::SmallFunction fn)
 {
     charge(category, cycles);
     sim::Tick when = busyUntil_ > now() ? busyUntil_ : now();
-    queue().scheduleCallback(when, std::move(fn));
+    queue().scheduleCallback(when, "cpu.charged", std::move(fn));
 }
 
 void
-CpuCore::runWhenFree(std::function<void()> fn)
+CpuCore::runWhenFree(sim::SmallFunction fn)
 {
     sim::Tick when = busyUntil_ > now() ? busyUntil_ : now();
-    queue().scheduleCallback(when, std::move(fn));
+    queue().scheduleCallback(when, "cpu.free", std::move(fn));
 }
 
 double

@@ -52,10 +52,10 @@ class CpuCore : public sim::SimObject, public tcp::CycleAccountant
      * charged work and this work complete).
      */
     void runAfterCharge(tcp::CostCategory category, double cycles,
-                        std::function<void()> fn);
+                        sim::SmallFunction fn);
 
     /** Run @p fn as soon as the core is free (no charge). */
-    void runWhenFree(std::function<void()> fn);
+    void runWhenFree(sim::SmallFunction fn);
 
     /** Cycles consumed in one category since the last stats reset. */
     double categoryCycles(tcp::CostCategory category) const;

@@ -16,7 +16,8 @@ PcieModel::PcieModel(sim::Simulation &sim, std::string name,
 
 sim::Tick
 PcieModel::transfer(std::size_t bytes, sim::Tick &busy_until,
-                    sim::Counter &counter, std::function<void()> on_complete)
+                    sim::Counter &counter, const char *what,
+                    sim::SmallFunction on_complete)
 {
     ++transactions_;
     counter += bytes;
@@ -27,30 +28,31 @@ PcieModel::transfer(std::size_t bytes, sim::Tick &busy_until,
     busy_until = start + sim::secondsToTicks(seconds);
     sim::Tick done = busy_until + config_.dmaLatency;
     if (on_complete)
-        queue().scheduleCallback(done, std::move(on_complete));
+        queue().scheduleCallback(done, what, std::move(on_complete));
     return done;
 }
 
 sim::Tick
-PcieModel::hostToDevice(std::size_t bytes, std::function<void()> on_complete)
+PcieModel::hostToDevice(std::size_t bytes, sim::SmallFunction on_complete)
 {
-    return transfer(bytes, h2dBusyUntil_, h2dBytes_,
+    return transfer(bytes, h2dBusyUntil_, h2dBytes_, "pcie.h2d",
                     std::move(on_complete));
 }
 
 sim::Tick
-PcieModel::deviceToHost(std::size_t bytes, std::function<void()> on_complete)
+PcieModel::deviceToHost(std::size_t bytes, sim::SmallFunction on_complete)
 {
-    return transfer(bytes, d2hBusyUntil_, d2hBytes_,
+    return transfer(bytes, d2hBusyUntil_, d2hBytes_, "pcie.d2h",
                     std::move(on_complete));
 }
 
 sim::Tick
-PcieModel::mmioDoorbell(std::function<void()> on_observed)
+PcieModel::mmioDoorbell(sim::SmallFunction on_observed)
 {
     sim::Tick done = now() + config_.mmioLatency;
     if (on_observed)
-        queue().scheduleCallback(done, std::move(on_observed));
+        queue().scheduleCallback(done, "pcie.doorbell",
+                                 std::move(on_observed));
     return done;
 }
 

@@ -44,14 +44,14 @@ class PcieModel : public sim::SimObject
 
     /** Host-to-device transfer (engine reads commands / payload). */
     sim::Tick hostToDevice(std::size_t bytes,
-                           std::function<void()> on_complete = nullptr);
+                           sim::SmallFunction on_complete = nullptr);
 
     /** Device-to-host transfer (completions / received payload). */
     sim::Tick deviceToHost(std::size_t bytes,
-                           std::function<void()> on_complete = nullptr);
+                           sim::SmallFunction on_complete = nullptr);
 
     /** Doorbell write; returns when the device observes it. */
-    sim::Tick mmioDoorbell(std::function<void()> on_observed = nullptr);
+    sim::Tick mmioDoorbell(sim::SmallFunction on_observed = nullptr);
 
     const PcieConfig &config() const { return config_; }
 
@@ -60,8 +60,8 @@ class PcieModel : public sim::SimObject
 
   private:
     sim::Tick transfer(std::size_t bytes, sim::Tick &busy_until,
-                       sim::Counter &counter,
-                       std::function<void()> on_complete);
+                       sim::Counter &counter, const char *what,
+                       sim::SmallFunction on_complete);
 
     PcieConfig config_;
     sim::Tick h2dBusyUntil_ = 0;

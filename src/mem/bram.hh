@@ -64,6 +64,21 @@ class DualPortBram
     }
 
     /**
+     * In-place read-modify-write: charges both a read and a write
+     * port, exactly like a read() followed by a write() of the same
+     * entry, but hands back a mutable reference so the caller skips
+     * the two full-entry copies. For single-cycle RMW paths (the event
+     * handler's duplicate-ACK accumulation).
+     */
+    Entry &
+    readModifyWrite(std::size_t index)
+    {
+        consumePort();
+        consumePort();
+        return at(index);
+    }
+
+    /**
      * Zero-port peek for logic that observes the array combinationally
      * in the same cycle as a scheduled port access (e.g., the event
      * handler's read-modify path shares its port's read data). Use

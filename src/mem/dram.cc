@@ -34,11 +34,12 @@ DramModel::accessTime(std::size_t bytes)
 }
 
 sim::Tick
-DramModel::access(std::size_t bytes, std::function<void()> on_complete)
+DramModel::access(std::size_t bytes, sim::SmallFunction on_complete)
 {
     sim::Tick done = accessTime(bytes);
     if (on_complete)
-        queue().scheduleCallback(done, std::move(on_complete));
+        queue().scheduleCallback(done, "dram.complete",
+                                 std::move(on_complete));
     return done;
 }
 

@@ -68,7 +68,7 @@ class DramModel : public sim::SimObject
      * is available (reads) or durably written (writes).
      * @return the completion tick.
      */
-    sim::Tick access(std::size_t bytes, std::function<void()> on_complete);
+    sim::Tick access(std::size_t bytes, sim::SmallFunction on_complete);
 
     /** Completion tick for a request issued now, without callback. */
     sim::Tick accessTime(std::size_t bytes);

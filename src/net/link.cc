@@ -76,7 +76,7 @@ LinkDirection::deliver(Packet &&pkt, sim::Tick when)
     f4t_assert(sink_ != nullptr, "link '%s' has no sink attached",
                name().c_str());
     queue().scheduleCallback(
-        when, [this, p = std::move(pkt)]() mutable {
+        when, "link.deliver", [this, p = std::move(pkt)]() mutable {
             sink_->receivePacket(std::move(p));
         });
 }

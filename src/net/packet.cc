@@ -105,7 +105,7 @@ Packet::parseWire(std::span<const std::uint8_t> bytes)
 Packet
 Packet::makeTcp(MacAddress src_mac, MacAddress dst_mac, Ipv4Address src_ip,
                 Ipv4Address dst_ip, const TcpHeader &header,
-                std::vector<std::uint8_t> payload)
+                PayloadBuffer payload)
 {
     Packet pkt;
     pkt.eth.src = src_mac;

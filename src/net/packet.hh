@@ -2,11 +2,13 @@
  * @file
  * The Packet structure moved across simulated links.
  *
- * A Packet carries parsed headers plus a payload byte vector. For speed
- * the simulator normally passes Packet objects around without
- * serializing, but serialize()/parseWire() produce and consume the
- * exact wire bytes (used in tests and wherever checksums must be
- * validated end to end).
+ * A Packet carries parsed headers plus a pooled payload buffer (see
+ * payload_buffer.hh — packet payloads are the simulator's dominant
+ * allocation source, so their storage recycles through a free list
+ * instead of the heap). For speed the simulator normally passes Packet
+ * objects around without serializing, but serialize()/parseWire()
+ * produce and consume the exact wire bytes (used in tests and wherever
+ * checksums must be validated end to end).
  *
  * wireOverheadBytes matches the paper's accounting of 78 B per packet:
  * 18 B Ethernet header + FCS framing counted by the paper, 8 B preamble
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "net/headers.hh"
+#include "net/payload_buffer.hh"
 
 namespace f4t::net
 {
@@ -39,7 +42,7 @@ struct Packet
     std::variant<std::monostate, TcpHeader, IcmpMessage, ArpMessage> l4;
 
     /** TCP or ICMP payload bytes (empty for pure control packets). */
-    std::vector<std::uint8_t> payload;
+    PayloadBuffer payload;
 
     bool isTcp() const { return std::holds_alternative<TcpHeader>(l4); }
     bool isIcmp() const { return std::holds_alternative<IcmpMessage>(l4); }
@@ -75,7 +78,7 @@ struct Packet
     static Packet makeTcp(MacAddress src_mac, MacAddress dst_mac,
                           Ipv4Address src_ip, Ipv4Address dst_ip,
                           const TcpHeader &header,
-                          std::vector<std::uint8_t> payload = {});
+                          PayloadBuffer payload = {});
 };
 
 } // namespace f4t::net

@@ -1,0 +1,33 @@
+#include "payload_buffer.hh"
+
+namespace f4t::net
+{
+
+PayloadBufferPool &
+PayloadBufferPool::instance()
+{
+    static PayloadBufferPool pool;
+    return pool;
+}
+
+std::vector<std::uint8_t> *
+PayloadBufferPool::acquire()
+{
+    if (!free_.empty()) {
+        std::vector<std::uint8_t> *bytes = free_.back();
+        free_.pop_back();
+        return bytes;
+    }
+    return &arena_.emplace_back();
+}
+
+void
+PayloadBufferPool::release(std::vector<std::uint8_t> *bytes)
+{
+    // Keep the capacity: the next acquire() inherits it, which is the
+    // entire point of the pool.
+    bytes->clear();
+    free_.push_back(bytes);
+}
+
+} // namespace f4t::net

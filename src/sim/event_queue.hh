@@ -2,31 +2,60 @@
  * @file
  * Discrete-event simulation queue.
  *
- * The queue orders Event objects by (tick, priority, insertion sequence).
- * Events are intrusive: an Event remembers whether it is scheduled so it
- * can be safely rescheduled or descheduled. Descheduling is lazy — the
- * entry stays in the heap with a squashed generation counter and is
- * skipped when popped — which keeps scheduling O(log n) with no heap
- * surgery.
+ * The queue orders Event objects by (tick, priority, insertion
+ * sequence). Storage is two-level:
  *
- * Lifetime rule: because descheduling is lazy, a descheduled Event may
- * still be referenced by a squashed heap entry. An Event must therefore
- * outlive the queue entries that refer to it; in practice, make events
- * members of modules that live as long as the Simulation (the usual
- * gem5 convention), or let the destructor run only after the queue has
- * drained past the event's old tick.
+ *  - a near-future "ladder" of granule buckets covering the next
+ *    ladderSpan ticks (64 ticks per bucket, so the bucket array plus
+ *    its occupancy bitmap stay L1-resident). The overwhelmingly
+ *    common short-horizon events — clock ticks, link serialization
+ *    slots, DRAM/PCIe completions — schedule and pop in O(1) with no
+ *    heap traffic. Each bucket chain is kept sorted by the queue key,
+ *    with a tail pointer so the dominant in-order insertion pattern
+ *    appends in O(1);
+ *  - a far-future binary heap backing the ladder. When the ladder
+ *    drains, the window is rebased onto the earliest heap entry and
+ *    every heap entry inside the new window is transferred in one
+ *    batch.
+ *
+ * Because the ladder window always precedes every heap entry, the
+ * pop order is identical to a single global heap: same (tick,
+ * priority, seq) total order, bit-for-bit. That determinism invariant
+ * is what lets the two-level design replace the original
+ * std::priority_queue without perturbing any simulated result.
+ *
+ * Events are intrusive: an Event remembers whether it is scheduled so
+ * it can be safely rescheduled or descheduled. Descheduling is lazy —
+ * the entry stays in its container with a squashed generation counter
+ * and is dropped when encountered — with one addition over the
+ * classic scheme: when squashed entries outnumber live ones the queue
+ * compacts, so descheduling churn can no longer grow the containers
+ * unboundedly.
+ *
+ * One-shot callbacks (scheduleCallback) draw their event objects from
+ * a free-list pool, and the callable lives in small-buffer-optimized
+ * storage inside the pooled event, so the simulator's hottest path —
+ * packet delivery and completion callbacks — never touches the
+ * allocator in steady state.
+ *
+ * Lifetime rule: because descheduling is lazy, a descheduled Event
+ * may still be referenced by a squashed entry. An Event must
+ * therefore outlive the queue entries that refer to it; in practice,
+ * make events members of modules that live as long as the Simulation
+ * (the usual gem5 convention), or let the destructor run only after
+ * the queue has drained past the event's old tick.
  */
 
 #ifndef F4T_SIM_EVENT_QUEUE_HH
 #define F4T_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace f4t::sim
@@ -75,29 +104,29 @@ class Event
     EventQueue *queue_ = nullptr;
 };
 
-/** An event that runs a captured callable; owns itself when one-shot. */
-class LambdaEvent : public Event
-{
-  public:
-    explicit LambdaEvent(std::function<void()> fn,
-                         int priority = defaultPriority)
-        : Event(priority), fn_(std::move(fn))
-    {}
-
-    void process() override { fn_(); }
-    std::string description() const override { return "lambda event"; }
-
-  private:
-    std::function<void()> fn_;
-};
-
 /**
  * The global time-ordered event queue. One instance per Simulation.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /**
+     * Width of the near-future window in ticks (one tick = 1 ps, so
+     * ~33 ns). Chosen to cover several periods of the fastest clock
+     * domains; longer horizons (DMA latencies, RTOs) take one batch
+     * trip through the far heap. Must be a power of two.
+     */
+    static constexpr std::size_t ladderSpan = 32768;
+
+    /** log2 of the bucket granule in ticks: each ladder bucket covers
+     *  2^granuleShift ticks, keeping the bucket array small enough to
+     *  live in L1 while the window stays ~33 ns wide. */
+    static constexpr std::size_t granuleShift = 6;
+
+    /** Number of ladder buckets (the occupancy bitmap is 8 words). */
+    static constexpr std::size_t numBuckets = ladderSpan >> granuleShift;
+
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -107,7 +136,30 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Schedule @p ev at absolute tick @p when (>= now). */
-    void schedule(Event *ev, Tick when);
+    void
+    schedule(Event *ev, Tick when)
+    {
+        // Empty-queue fast path, inline: park the event in the solo
+        // register. The self-rescheduling clock tick that drives every
+        // saturated-pipeline run lands here each cycle. Error cases
+        // (past tick, double schedule) fall through to push(), whose
+        // asserts report them.
+        if (liveEvents_ == 0 && deadEntries_ == 0 && !ev->scheduled_ &&
+            when >= now_) {
+            ev->when_ = when;
+            ev->scheduled_ = true;
+            ev->queue_ = this;
+            soloEvent_ = ev;
+            soloWhen_ = when;
+            soloPriority_ = ev->priority_;
+            soloSeq_ = nextSeq_++;
+            soloGeneration_ = ev->generation_;
+            soloSelfDeleting_ = false;
+            liveEvents_ = 1;
+            return;
+        }
+        push(ev, when, false);
+    }
 
     /** Remove a scheduled event; no-op if it is not scheduled. */
     void deschedule(Event *ev);
@@ -116,11 +168,21 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /**
-     * Schedule a one-shot callback. The underlying event deletes itself
-     * after running. Useful for fire-and-forget completion callbacks.
+     * Schedule a one-shot callback on a pooled event. @p what is a
+     * call-site tag used by debug logging and assertion messages; it
+     * must point to storage that outlives the callback (string
+     * literals by convention).
      */
-    void scheduleCallback(Tick when, std::function<void()> fn,
+    void scheduleCallback(Tick when, const char *what, SmallFunction fn,
                           int priority = Event::defaultPriority);
+
+    /** Untagged convenience overload (tests, ad-hoc callbacks). */
+    void
+    scheduleCallback(Tick when, SmallFunction fn,
+                     int priority = Event::defaultPriority)
+    {
+        scheduleCallback(when, "callback", std::move(fn), priority);
+    }
 
     /** True when no live events remain. */
     bool empty() const { return liveEvents_ == 0; }
@@ -133,15 +195,59 @@ class EventQueue
      * @p limit. Events scheduled exactly at @p limit still run.
      * @return the tick at which the run stopped.
      */
-    Tick run(Tick limit = maxTick);
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (runOne(limit)) {
+        }
+        if (now_ < limit && limit != maxTick)
+            now_ = limit;
+        return now_;
+    }
 
     /** Run exactly one event if any is pending within @p limit. */
-    bool runOne(Tick limit = maxTick);
+    bool
+    runOne(Tick limit = maxTick)
+    {
+        // Solo fast path, inline (see schedule()); container pops take
+        // the out-of-line slow path.
+        if (soloEvent_ != nullptr) {
+            if (soloWhen_ > limit)
+                return false;
+            Event *ev = soloEvent_;
+            soloEvent_ = nullptr;
+            fire(ev, soloWhen_, soloSelfDeleting_);
+            return true;
+        }
+        return runOneSlow(limit);
+    }
 
     /** Total number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
+    // --- introspection (tests, perf harnesses) --------------------------
+
+    /** Callback events ever constructed (pool high-water mark). */
+    std::size_t callbackPoolAllocated() const { return callbackArena_.size(); }
+    /** Callback events currently parked on the free list. */
+    std::size_t callbackPoolFree() const { return freeCallbackCount_; }
+    /** Squashed entries not yet dropped from either container. */
+    std::size_t squashedEntries() const { return deadEntries_; }
+
   private:
+    /** A scheduled occurrence; doubles as a ladder chain node. */
+    struct Node
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+        bool selfDeleting;
+        Node *next;
+    };
+
+    /** Far-future heap entry (same ordering key, no chain pointer). */
     struct HeapEntry
     {
         Tick when;
@@ -165,16 +271,138 @@ class EventQueue
         }
     };
 
-    void push(Event *ev, Tick when, bool self_deleting);
+    /** Pooled one-shot callback event (see scheduleCallback). */
+    class CallbackEvent : public Event
+    {
+      public:
+        CallbackEvent() = default;
+        void process() override { fn_(); }
+        std::string description() const override { return what_; }
 
-    /** Pop squashed entries until the top is live (or the heap empties). */
+      private:
+        friend class EventQueue;
+        SmallFunction fn_;
+        const char *what_ = "callback";
+        CallbackEvent *nextFree_ = nullptr;
+    };
+
+    template <typename EntryT>
+    static bool
+    isLive(const EntryT &entry)
+    {
+        return entry.event->scheduled_ &&
+               entry.generation == entry.event->generation_;
+    }
+
+    bool inWindow(Tick when) const
+    {
+        return when - ladderBase_ < ladderSpan;
+    }
+
+    /** Strict (when, priority, seq) ordering between two entries. */
+    template <typename A, typename B>
+    static bool
+    keyBefore(const A &a, const B &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    void push(Event *ev, Tick when, bool self_deleting);
+    /** runOne() when the solo register is empty. */
+    bool runOneSlow(Tick limit);
+    void insertLadder(Tick when, int priority, std::uint64_t seq,
+                      std::uint64_t generation, Event *ev,
+                      bool self_deleting);
+    /** Move the solo register's occupant into the ladder/heap. */
+    void spillSolo();
+    /** Shared fire tail: pop bookkeeping + process + recycle. */
+    void fire(Event *ev, Tick when, bool self_deleting);
+
+    Node *acquireNode();
+    void releaseNode(Node *node);
+    CallbackEvent *acquireCallback();
+    void recycleCallback(CallbackEvent *ev);
+
+    /** Drop a dead entry's bookkeeping (shared by all removal paths). */
+    void droppedDead() { f4t_assert(deadEntries_ > 0,
+                                    "dead entry count underflow");
+                         --deadEntries_; }
+
+    void setBit(std::size_t idx);
+    void clearBit(std::size_t idx);
+    /** First non-empty bucket at or after @p from; ladderSpan if none. */
+    std::size_t findBucketFrom(std::size_t from) const;
+
+    /** Pop squashed entries off the heap top. */
     void skipSquashed();
+    /** Move every heap entry inside the new window into the ladder. */
+    void rebaseLadder();
+    /** Rebuild both containers without squashed entries. */
+    void compact();
+    void maybeCompact();
+    /** Counter cross-check; full recount only in debug builds. */
+    void checkAccounting() const;
+
+    /**
+     * Locate the next live entry: a bucket index + its head node, or
+     * node == nullptr when the ladder (and, after rebase attempts,
+     * the heap) is empty. Prunes dead head entries on the way.
+     */
+    struct Candidate
+    {
+        std::size_t bucket = 0;
+        Node *node = nullptr;
+    };
+    Candidate findCandidate();
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
     std::size_t liveEvents_ = 0;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+    std::size_t deadEntries_ = 0;
+
+    // Solo register: when the queue is otherwise empty, the sole
+    // pending event lives here instead of in a container. A simulator
+    // region driven by one self-rescheduling clock event — the
+    // steady state of every saturated-pipeline scenario — then pops
+    // and pushes through a handful of plain fields. Invariant: while
+    // soloEvent_ is set, the ladder and the heap are empty (the next
+    // push spills the occupant before inserting), so the solo entry
+    // is trivially the global minimum.
+    Event *soloEvent_ = nullptr;
+    Tick soloWhen_ = 0;
+    int soloPriority_ = 0;
+    std::uint64_t soloSeq_ = 0;
+    std::uint64_t soloGeneration_ = 0;
+    bool soloSelfDeleting_ = false;
+
+    // Ladder state. Each bucket holds a singly linked chain, sorted
+    // by (when, priority, seq), of the entries inside its granule
+    // (the window is exactly one span wide, so bucket indices cannot
+    // alias). The sorted order makes the head the bucket minimum, and
+    // the per-bucket tail pointer makes the common ascending-key
+    // insertion an O(1) append.
+    Tick ladderBase_ = 0;
+    std::size_t cursor_ = 0; ///< no non-empty bucket below this index
+    std::size_t ladderNodes_ = 0;
+    std::vector<Node *> buckets_;
+    std::vector<Node *> tails_;
+    std::vector<std::uint64_t> bits_;
+
+    // Far-future heap (std::make_heap family, min entry at front).
+    std::vector<HeapEntry> heap_;
+
+    // Node and callback-event pools. Deques give stable addresses;
+    // free lists are threaded through the objects themselves.
+    std::deque<Node> nodeArena_;
+    Node *freeNodes_ = nullptr;
+    std::deque<CallbackEvent> callbackArena_;
+    CallbackEvent *freeCallbacks_ = nullptr;
+    std::size_t freeCallbackCount_ = 0;
 };
 
 } // namespace f4t::sim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * RingFifo: a growable power-of-two ring buffer with a deque-like
+ * FIFO interface.
+ *
+ * The simulator's per-cycle pipelines (FPC input FIFO, FPU pipe, NIC
+ * queues) previously used std::deque, whose block allocator frees and
+ * reallocates a node every time the FIFO head crosses a 512-byte
+ * boundary — for entries the size of a TCB that is a malloc/free pair
+ * on nearly every push. A ring reuses one contiguous allocation
+ * forever: steady-state push/pop touches no allocator at all, and the
+ * elements stay cache-resident.
+ *
+ * Capacity grows geometrically on demand; it never shrinks (pipelines
+ * have small, bounded depths — the backing store is a few KB).
+ */
+
+#ifndef F4T_SIM_RING_FIFO_HH
+#define F4T_SIM_RING_FIFO_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace f4t::sim
+{
+
+template <typename T>
+class RingFifo
+{
+  public:
+    explicit RingFifo(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 1;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    T &front()
+    {
+        f4t_assert(size_ > 0, "front() on empty RingFifo");
+        return slots_[head_];
+    }
+
+    const T &front() const
+    {
+        f4t_assert(size_ > 0, "front() on empty RingFifo");
+        return slots_[head_];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    void
+    emplace_back(Args &&...args)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[wrap(head_ + size_)] = T{std::forward<Args>(args)...};
+        ++size_;
+    }
+
+    /**
+     * Append without constructing a temporary: returns a reference to
+     * the new back slot for the caller to fill. The slot holds either
+     * a default-constructed T or the moved-from remains of a previous
+     * occupant — the caller must assign every field it relies on.
+     */
+    T &
+    push_default()
+    {
+        if (size_ == slots_.size())
+            grow();
+        T &slot = slots_[wrap(head_ + size_)];
+        ++size_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        f4t_assert(size_ > 0, "pop_front() on empty RingFifo");
+        // Release resources held by the entry; trivial types skip the
+        // (surprisingly costly, for TCB-sized entries) re-zeroing.
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            slots_[head_] = T{};
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            pop_front();
+    }
+
+    /** Element @p i positions behind the front (0 = front). */
+    const T &
+    at(std::size_t i) const
+    {
+        f4t_assert(i < size_, "RingFifo index %zu out of range %zu", i,
+                   size_);
+        return slots_[wrap(head_ + i)];
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i & (slots_.size() - 1); }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(slots_[wrap(head_ + i)]);
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_RING_FIFO_HH

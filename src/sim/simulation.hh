@@ -24,7 +24,7 @@ class ClockDomain
   public:
     ClockDomain(std::string name, double frequency_hz, EventQueue &queue)
         : name_(std::move(name)), period_(periodFromFrequency(frequency_hz)),
-          queue_(queue)
+          reciprocal_(period_ > 1 ? ~Tick{0} / period_ : 0), queue_(queue)
     {
         f4t_assert(period_ > 0, "clock domain '%s' has zero period",
                    name_.c_str());
@@ -39,7 +39,7 @@ class ClockDomain
     }
 
     /** Cycle count at the current tick (cycle 0 starts at tick 0). */
-    Cycles curCycle() const { return queue_.now() / period_; }
+    Cycles curCycle() const { return ticksToCycles(queue_.now()); }
 
     /**
      * First clock edge strictly after the current tick, plus @p ahead
@@ -50,16 +50,41 @@ class ClockDomain
     clockEdge(Cycles ahead = 0) const
     {
         Tick now = queue_.now();
-        Tick next = (now / period_ + 1) * period_;
+        Tick next = (ticksToCycles(now) + 1) * period_;
         return next + ahead * period_;
     }
 
     /** Convert a cycle count to a duration in ticks. */
     Tick cyclesToTicks(Cycles c) const { return c * period_; }
 
+    /**
+     * Exact @p t / period. The divisor is loop-invariant for the life
+     * of the domain and this quotient sits on the hottest path in the
+     * simulator (every ClockedObject tick computes it several times),
+     * so it is done as a reciprocal multiply — one widening multiply
+     * plus a fix-up — instead of a hardware 64-bit divide.
+     */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        if (period_ == 1)
+            return t;
+        // reciprocal_ underestimates 2^64/period by < 2, so the
+        // estimated quotient is off by at most 2; repair by remainder.
+        Cycles q = static_cast<Cycles>(
+            (static_cast<unsigned __int128>(t) * reciprocal_) >> 64);
+        Tick rem = t - q * period_;
+        while (rem >= period_) {
+            rem -= period_;
+            ++q;
+        }
+        return q;
+    }
+
   private:
     std::string name_;
     Tick period_;
+    Tick reciprocal_; ///< floor((2^64 - 1) / period)
     EventQueue &queue_;
 };
 
@@ -178,8 +203,14 @@ class ClockedObject : public SimObject
         void
         process() override
         {
+            // This event only ever fires on a clock edge, so the next
+            // edge is one period ahead of the fire tick — no need for
+            // activate()'s general clockEdge() computation, and the
+            // event is known to be unscheduled right now.
+            Tick fired_at = when();
             if (owner_.tick())
-                owner_.activate();
+                owner_.queue().schedule(this,
+                                        fired_at + owner_.domain_.period());
         }
 
         std::string

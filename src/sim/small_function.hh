@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SmallFunction: a move-only void() callable with small-buffer-
+ * optimized storage, built for the event queue's one-shot callbacks.
+ *
+ * std::function heap-allocates for any capture larger than two or
+ * three pointers, and the simulator's hottest callbacks capture a
+ * whole net::Packet. SmallFunction embeds up to inlineBytes of
+ * capture state directly in the object, so a pooled callback event
+ * that holds one can be recycled indefinitely without ever touching
+ * the allocator. Callables larger than inlineBytes still work — they
+ * fall back to a heap allocation — so correctness never depends on
+ * the capture fitting.
+ *
+ * Differences from std::function<void()>:
+ *  - move-only (so captures can hold move-only payloads);
+ *  - the callable is destroyed eagerly by reset(), letting pooled
+ *    events release captured resources (packets, buffers) the moment
+ *    they have run rather than when the pool slot is reused.
+ */
+
+#ifndef F4T_SIM_SMALL_FUNCTION_HH
+#define F4T_SIM_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace f4t::sim
+{
+
+class SmallFunction
+{
+  public:
+    /**
+     * Inline capacity. Sized so the link/packet-generator callbacks —
+     * a this-pointer plus a moved net::Packet (~150 B once payloads
+     * are pooled) — stay inline with headroom.
+     */
+    static constexpr std::size_t inlineBytes = 224;
+
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFunction(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFunction &
+    operator=(F &&fn)
+    {
+        reset();
+        emplace(std::forward<F>(fn));
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(&storage_);
+    }
+
+    /** Destroy the captured callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(&storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *storage);
+    };
+
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= inlineBytes &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+    template <typename F>
+    struct InlineOps
+    {
+        static F *at(void *s) { return std::launder(static_cast<F *>(s)); }
+        static void invoke(void *s) { (*at(s))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            ::new (dst) F(std::move(*at(src)));
+            at(src)->~F();
+        }
+        static void destroy(void *s) { at(s)->~F(); }
+        static constexpr Ops ops{invoke, relocate, destroy};
+    };
+
+    template <typename F>
+    struct HeapOps
+    {
+        static F *&
+        slot(void *s)
+        {
+            return *std::launder(static_cast<F **>(s));
+        }
+        static void invoke(void *s) { (*slot(s))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            ::new (dst) (F *)(slot(src));
+        }
+        static void destroy(void *s) { delete slot(s); }
+        static constexpr Ops ops{invoke, relocate, destroy};
+    };
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Decayed = std::decay_t<F>;
+        if constexpr (fitsInline<Decayed>()) {
+            ::new (&storage_) Decayed(std::forward<F>(fn));
+            ops_ = &InlineOps<Decayed>::ops;
+        } else {
+            ::new (&storage_) (Decayed *)(new Decayed(std::forward<F>(fn)));
+            ops_ = &HeapOps<Decayed>::ops;
+        }
+    }
+
+    void
+    moveFrom(SmallFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(&storage_, &other.storage_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte storage_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_SMALL_FUNCTION_HH

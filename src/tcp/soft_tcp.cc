@@ -718,7 +718,7 @@ SoftTcpStack::sendSegment(Conn &conn, std::uint64_t stream_offset,
     f4t_assert(transmit_ != nullptr, "%s has no transmit function",
                name().c_str());
 
-    std::vector<std::uint8_t> payload(length);
+    net::PayloadBuffer payload(length);
     conn.txRing.copyOut(stream_offset, payload);
 
     net::TcpHeader tcp;
@@ -822,7 +822,7 @@ SoftTcpStack::armRto(Conn &conn)
     std::uint64_t generation = ++conn.timerGeneration;
     SoftConnId id = conn.id;
     queue().scheduleCallback(
-        now() + sim::microsecondsToTicks(rto),
+        now() + sim::microsecondsToTicks(rto), "softtcp.rto",
         [this, id, generation] { onRtoFire(id, generation); });
 }
 
@@ -897,7 +897,7 @@ SoftTcpStack::enterTimeWait(Conn &conn)
     std::uint64_t generation = ++conn.twGeneration;
     queue().scheduleCallback(
         now() + sim::microsecondsToTicks(config_.timeWaitUs),
-        [this, id, generation] {
+        "softtcp.timewait", [this, id, generation] {
             Conn *c = find(id);
             if (!c || c->twGeneration != generation)
                 return;

@@ -40,6 +40,13 @@ Tcb
 merge(const Tcb &stored, const EventRecord &events)
 {
     Tcb tcb = stored;
+    mergeInto(tcb, events);
+    return tcb;
+}
+
+void
+mergeInto(Tcb &tcb, const EventRecord &events)
+{
     const std::uint32_t v = events.validMask;
 
     // Cumulative pointers: newer handler writes override, but never
@@ -66,7 +73,6 @@ merge(const Tcb &stored, const EventRecord &events)
     }
     if (v & EventValid::flags)
         tcb.pendingFlags |= events.flags;
-    return tcb;
 }
 
 bool
