@@ -146,6 +146,12 @@ class LinuxSocketApi : public SocketApi
         sim::Tick busy = core().busyUntil();
         if (busy > when)
             when = busy;
+        // One epoll loop per thread: upcalls never overtake each other,
+        // however the jitter samples land (an onReadable delivered
+        // before its connection's onAccepted would strand the data).
+        if (when < lastUpcallAt_)
+            when = lastUpcallAt_;
+        lastUpcallAt_ = when;
         sim_.queue().scheduleCallback(when, "linuxapi.deliver",
                                       std::move(fn));
     }
@@ -154,6 +160,7 @@ class LinuxSocketApi : public SocketApi
     baseline::LinuxHost &host_;
     std::size_t coreIndex_;
     double penalty_;
+    sim::Tick lastUpcallAt_ = 0;
     Handlers handlers_;
 };
 

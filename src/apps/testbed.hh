@@ -14,6 +14,7 @@
 #define F4T_APPS_TESTBED_HH
 
 #include <memory>
+#include <optional>
 
 #include "apps/f4t_socket_api.hh"
 #include "apps/linux_socket_api.hh"
@@ -26,6 +27,22 @@
 
 namespace f4t::testbed
 {
+
+/** Build a world's cable, honoring an optional asymmetric fault model
+ *  (distinct per-direction rates; see the fuzz harness). */
+inline std::unique_ptr<net::Link>
+makeLink(sim::Simulation &sim, double bandwidth_bps,
+         const net::FaultModel &faults,
+         const std::optional<net::FaultModel> &reverse_faults)
+{
+    if (reverse_faults) {
+        return std::make_unique<net::Link>(
+            sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500),
+            faults, *reverse_faults);
+    }
+    return std::make_unique<net::Link>(
+        sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500), faults);
+}
 
 inline net::Ipv4Address
 ipA()
@@ -54,10 +71,10 @@ macB()
 /** Two FtEngines cabled together, one host (CPU+runtime) each. */
 struct EnginePairWorld
 {
-    explicit EnginePairWorld(std::size_t cores_per_host = 1,
-                             core::EngineConfig base = {},
-                             const net::FaultModel &faults = {},
-                             double bandwidth_bps = 100e9)
+    explicit EnginePairWorld(
+        std::size_t cores_per_host = 1, core::EngineConfig base = {},
+        const net::FaultModel &faults = {}, double bandwidth_bps = 100e9,
+        const std::optional<net::FaultModel> &reverse_faults = {})
     {
         core::EngineConfig config_a = base;
         config_a.ip = ipA();
@@ -70,9 +87,7 @@ struct EnginePairWorld
                                                    config_a);
         engineB = std::make_unique<core::FtEngine>(sim, "engineB",
                                                    config_b);
-        link = std::make_unique<net::Link>(
-            sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500),
-            faults);
+        link = makeLink(sim, bandwidth_bps, faults, reverse_faults);
         link->connect(*engineA, *engineB);
         engineA->setTransmit(
             [this](net::Packet &&pkt) { link->aToB().send(std::move(pkt)); });
@@ -120,12 +135,12 @@ struct EnginePairWorld
 /** An FtEngine host (A) cabled to a Linux host (B). */
 struct EngineLinuxWorld
 {
-    explicit EngineLinuxWorld(std::size_t engine_cores = 1,
-                              std::size_t linux_cores = 1,
-                              core::EngineConfig base = {},
-                              baseline::LinuxHostConfig linux_base = {},
-                              const net::FaultModel &faults = {},
-                              double bandwidth_bps = 100e9)
+    explicit EngineLinuxWorld(
+        std::size_t engine_cores = 1, std::size_t linux_cores = 1,
+        core::EngineConfig base = {},
+        baseline::LinuxHostConfig linux_base = {},
+        const net::FaultModel &faults = {}, double bandwidth_bps = 100e9,
+        const std::optional<net::FaultModel> &reverse_faults = {})
     {
         core::EngineConfig config_a = base;
         config_a.ip = ipA();
@@ -138,9 +153,7 @@ struct EngineLinuxWorld
         linux = std::make_unique<baseline::LinuxHost>(sim, "linux",
                                                       linux_base);
 
-        link = std::make_unique<net::Link>(
-            sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500),
-            faults);
+        link = makeLink(sim, bandwidth_bps, faults, reverse_faults);
         link->connect(*engine, *linux);
         engine->setTransmit(
             [this](net::Packet &&pkt) { link->aToB().send(std::move(pkt)); });
@@ -179,10 +192,10 @@ struct EngineLinuxWorld
 /** Two Linux hosts cabled together (the software baseline). */
 struct LinuxPairWorld
 {
-    explicit LinuxPairWorld(std::size_t cores = 1,
-                            baseline::LinuxHostConfig base = {},
-                            const net::FaultModel &faults = {},
-                            double bandwidth_bps = 100e9)
+    explicit LinuxPairWorld(
+        std::size_t cores = 1, baseline::LinuxHostConfig base = {},
+        const net::FaultModel &faults = {}, double bandwidth_bps = 100e9,
+        const std::optional<net::FaultModel> &reverse_faults = {})
     {
         baseline::LinuxHostConfig config_a = base;
         config_a.ip = ipA();
@@ -197,9 +210,7 @@ struct LinuxPairWorld
                                                       config_a);
         hostB = std::make_unique<baseline::LinuxHost>(sim, "hostB",
                                                       config_b);
-        link = std::make_unique<net::Link>(
-            sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500),
-            faults);
+        link = makeLink(sim, bandwidth_bps, faults, reverse_faults);
         link->connect(*hostA, *hostB);
         hostA->setTransmit(
             [this](net::Packet &&pkt) { link->aToB().send(std::move(pkt)); });
@@ -227,6 +238,6 @@ struct LinuxPairWorld
     std::unique_ptr<net::Link> link;
 };
 
-} // namespace f4t::testbedbed
+} // namespace f4t::testbed
 
 #endif // F4T_APPS_TESTBED_HH

@@ -25,6 +25,55 @@ Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
                         "single-cycle duplicate-ACK RMW operations")
 {
     f4t_assert(config_.slots > 0, "FPC needs at least one slot");
+    sim.registerAudit(this, statName("audit"),
+                      [this] { auditInvariants(); });
+}
+
+Fpc::~Fpc()
+{
+    sim().deregisterAudits(this);
+}
+
+void
+Fpc::auditInvariants() const
+{
+    std::size_t occupied = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
+        if (!slot.occupied) {
+            F4T_CHECK(!slot.inFpu && !slot.evictFlag,
+                      "%s: empty slot %zu carries live flags",
+                      name().c_str(), i);
+            continue;
+        }
+        ++occupied;
+        F4T_CHECK(slot.flow != tcp::invalidFlowId,
+                  "%s: occupied slot %zu without a flow", name().c_str(),
+                  i);
+        F4T_CHECK(cam_.contains(slot.flow) &&
+                      cam_.lookup(slot.flow) == i,
+                  "%s: slot %zu holds flow %u but the CAM disagrees",
+                  name().c_str(), i, slot.flow);
+    }
+    F4T_CHECK(occupied == cam_.occupancy(),
+              "%s: %zu occupied slots vs CAM occupancy %zu",
+              name().c_str(), occupied, cam_.occupancy());
+
+    for (std::size_t i = 0; i < fpuPipe_.size(); ++i) {
+        const FpuJob &job = fpuPipe_.at(i);
+        const Slot &slot = slots_[job.slotIndex];
+        F4T_CHECK(slot.occupied && slot.inFpu && slot.flow == job.flow,
+                  "%s: FPU job for flow %u references slot %zu "
+                  "(occupied=%d inFpu=%d flow=%u)", name().c_str(),
+                  job.flow, job.slotIndex, slot.occupied ? 1 : 0,
+                  slot.inFpu ? 1 : 0, slot.flow);
+    }
+
+    for (std::size_t i = 0; i < inputFifo_.size(); ++i) {
+        F4T_CHECK(cam_.contains(inputFifo_.at(i).flow),
+                  "%s: queued event for non-resident flow %u",
+                  name().c_str(), inputFifo_.at(i).flow);
+    }
 }
 
 void
@@ -197,6 +246,21 @@ Fpc::tick()
 void
 Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
 {
+    // The dual-memory port schedule (Section 4.2.3): events are only
+    // absorbed on solid (even) cycles, so no two events of this FPC can
+    // ever be closer than two cycles apart — the paper's stall-free
+    // 1-event-per-2-cycles occupancy claim.
+    F4T_CHECK((cycle & 1) == 0,
+              "%s: event absorbed on a dotted cycle %llu", name().c_str(),
+              static_cast<unsigned long long>(cycle));
+    F4T_IF_CHECKS({
+        F4T_CHECK(!anyEventHandled_ || cycle >= lastEventCycle_ + 2,
+                  "%s: events absorbed %llu cycles apart (min 2)",
+                  name().c_str(),
+                  static_cast<unsigned long long>(cycle - lastEventCycle_));
+        lastEventCycle_ = cycle;
+        anyEventHandled_ = true;
+    });
     ++eventsHandled_;
     std::size_t index = cam_.lookup(event.flow);
     Slot &slot = slots_[index];
@@ -240,6 +304,31 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 
     tcp::FpuActions actions;
     program_.process(job.merged, nowUs(), actions);
+
+    F4T_IF_CHECKS({
+        tcp::checkTcbInvariants(job.merged, name().c_str());
+        // Cumulative pointers never regress across an FPU pass once the
+        // connection is synchronized (sndNxt may: go-back-N on RTO).
+        const tcp::Tcb &prev = tcbTable_.peek(job.slotIndex);
+        if (tcp::stateSynchronized(prev.state) &&
+            tcp::stateSynchronized(job.merged.state)) {
+            F4T_CHECK(net::seqGeq(job.merged.sndUna, prev.sndUna),
+                      "%s: flow %u sndUna regressed %u -> %u",
+                      name().c_str(), job.flow, prev.sndUna,
+                      job.merged.sndUna);
+            F4T_CHECK(net::seqGeq(job.merged.rcvNxt, prev.rcvNxt),
+                      "%s: flow %u rcvNxt regressed %u -> %u",
+                      name().c_str(), job.flow, prev.rcvNxt,
+                      job.merged.rcvNxt);
+            F4T_CHECK(net::seqGeq(job.merged.req, prev.req),
+                      "%s: flow %u req regressed %u -> %u",
+                      name().c_str(), job.flow, prev.req, job.merged.req);
+            F4T_CHECK(net::seqGeq(job.merged.userRead, prev.userRead),
+                      "%s: flow %u userRead regressed %u -> %u",
+                      name().c_str(), job.flow, prev.userRead,
+                      job.merged.userRead);
+        }
+    });
 
     slot.inFpu = false;
     slot.lastActiveCycle = cycle;

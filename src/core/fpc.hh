@@ -215,6 +215,14 @@ class Fpc : public sim::ClockedObject
 
     Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
         const tcp::FpuProgram &program, const FpcConfig &config);
+    ~Fpc() override;
+
+    /**
+     * Structural invariant audit (checked builds): slot occupancy
+     * matches the CAM, every FPU-pipe job references an occupied slot
+     * that is flagged inFpu, and every queued event's flow is resident.
+     */
+    void auditInvariants() const;
 
     void setActionSink(ActionSink sink) { actionSink_ = std::move(sink); }
     void setEvictSink(EvictSink sink) { evictSink_ = std::move(sink); }
@@ -305,6 +313,9 @@ class Fpc : public sim::ClockedObject
     FlowCam cam_;
     sim::RingFifo<FpuJob> fpuPipe_;
     std::size_t rrIndex_ = 0;
+    /** Checked builds: validates the 1-event-per-2-cycles port claim. */
+    F4T_IF_CHECKS(sim::Cycles lastEventCycle_ = 0;
+                  bool anyEventHandled_ = false;)
     sim::Cycles lastInstallCycle_ = 0;
     bool installUsedThisWindow_ = false;
     unsigned idleScanCountdown_ = 0;

@@ -20,7 +20,44 @@ MemoryManager::MemoryManager(sim::Simulation &sim, std::string name,
                       "flows flagged sendable by the check logic"),
       writebacks_(sim.stats(), statName("writebacks"),
                   "dirty cache lines written back to DRAM")
-{}
+{
+    sim.registerAudit(this, statName("audit"),
+                      [this] { auditInvariants(); });
+}
+
+MemoryManager::~MemoryManager()
+{
+    sim().deregisterAudits(this);
+}
+
+void
+MemoryManager::auditInvariants() const
+{
+    // Every structure keyed by flow refers to a DRAM-resident TCB:
+    // extract/drop purge the side structures along with the backing.
+    for (const auto &[flow, events] : missQueues_) {
+        F4T_CHECK(backing_.count(flow) != 0,
+                  "%s: miss queue (%zu events) for absent flow %u",
+                  name().c_str(), events.size(), flow);
+    }
+    for (tcp::FlowId flow : swapRequested_) {
+        F4T_CHECK(backing_.count(flow) != 0,
+                  "%s: swap-in requested for absent flow %u",
+                  name().c_str(), flow);
+    }
+    for (const tcp::TcpEvent &event : inputFifo_) {
+        F4T_CHECK(backing_.count(event.flow) != 0,
+                  "%s: queued event for absent flow %u", name().c_str(),
+                  event.flow);
+    }
+    for (const auto &[flow, entry] : backing_) {
+        F4T_CHECK(entry.tcb.flowId == flow,
+                  "%s: backing entry %u holds TCB of flow %u",
+                  name().c_str(), flow, entry.tcb.flowId);
+        tcp::checkTcbInvariants(tcp::merge(entry.tcb, entry.events),
+                                name().c_str());
+    }
+}
 
 bool
 MemoryManager::cacheAccess(tcp::FlowId flow, bool dirty,
@@ -211,11 +248,14 @@ MemoryManager::checkLogic(tcp::FlowId flow)
     tcp::Tcb merged = tcp::merge(it->second.tcb, it->second.events);
     if (tcp::FpuProgram::tcbNeedsProcessing(merged)) {
         if (scheduler_->requestSwapIn(flow)) {
-            swapRequested_.insert(flow);
+            // A taken request extracts the flow from DRAM synchronously,
+            // so nothing remains resident to mark as requested.
             ++swapInRequests_;
+        } else {
+            // Mid-migration: suppress re-requests until the scheduler
+            // pokes us via recheckFlow() once the location settles.
+            swapRequested_.insert(flow);
         }
-        // else: the flow is mid-migration; the scheduler pokes us via
-        // recheckFlow() once its location settles.
     }
 }
 

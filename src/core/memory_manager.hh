@@ -48,6 +48,14 @@ class MemoryManager : public sim::ClockedObject
     MemoryManager(sim::Simulation &sim, std::string name,
                   sim::ClockDomain &domain, mem::DramModel &dram,
                   const MemoryManagerConfig &config);
+    ~MemoryManager() override;
+
+    /**
+     * Structural invariant audit (checked builds): miss queues, pending
+     * swap-in marks, and queued events only reference DRAM-resident
+     * flows, and every resident merged TCB is sequence-space sane.
+     */
+    void auditInvariants() const;
 
     void setScheduler(Scheduler *scheduler) { scheduler_ = scheduler; }
 

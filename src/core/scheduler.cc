@@ -24,6 +24,103 @@ Scheduler::Scheduler(sim::Simulation &sim, std::string name,
                      "events submitted past the coalesce window")
 {
     f4t_assert(config_.coalesceFifos > 0, "need at least one FIFO");
+    sim.registerAudit(this, statName("audit"),
+                      [this] { auditInvariants(); });
+}
+
+Scheduler::~Scheduler()
+{
+    sim().deregisterAudits(this);
+}
+
+void
+Scheduler::auditInvariants() const
+{
+    std::size_t fpc_flows_seen = 0;
+    std::size_t dram_flows_seen = 0;
+    for (tcp::FlowId flow = 0; flow < lut_.size(); ++flow) {
+        const Location &loc = lut_[flow];
+        if (loc.kind == Location::Kind::unallocated)
+            continue;
+
+        std::size_t fpc_holders = 0;
+        for (const Fpc *fpc : fpcs_)
+            fpc_holders += fpc->hasFlow(flow) ? 1 : 0;
+        bool in_dram = memoryManager_ && memoryManager_->holdsFlow(flow);
+        auto mv = moving_.find(flow);
+        fpc_flows_seen += fpc_holders;
+        dram_flows_seen += in_dram ? 1 : 0;
+
+        switch (loc.kind) {
+          case Location::Kind::fpc:
+            F4T_CHECK(fpc_holders == 1 &&
+                          fpcs_[loc.fpcIndex]->hasFlow(flow),
+                      "%s: flow %u LUT says FPC %u but %zu FPCs hold it",
+                      name().c_str(), flow, loc.fpcIndex, fpc_holders);
+            F4T_CHECK(!in_dram, "%s: flow %u in FPC %u and DRAM",
+                      name().c_str(), flow, loc.fpcIndex);
+            F4T_CHECK(mv == moving_.end(),
+                      "%s: flow %u settled in FPC %u but still has "
+                      "migration state", name().c_str(), flow,
+                      loc.fpcIndex);
+            break;
+          case Location::Kind::dram:
+            F4T_CHECK(in_dram && fpc_holders == 0,
+                      "%s: flow %u LUT says DRAM (in_dram=%d, "
+                      "fpc_holders=%zu)", name().c_str(), flow,
+                      in_dram ? 1 : 0, fpc_holders);
+            F4T_CHECK(mv == moving_.end(),
+                      "%s: flow %u settled in DRAM but still has "
+                      "migration state", name().c_str(), flow);
+            break;
+          case Location::Kind::moving: {
+            // Exactly one live copy: still in the source FPC (evict
+            // requested, not yet left), arrived in DRAM (insert
+            // completion pending), in transit between modules, or
+            // inside an in-flight DRAM extract.
+            std::size_t copies = fpc_holders + (in_dram ? 1 : 0);
+            if (mv != moving_.end()) {
+                copies += mv->second.inTransit ? 1 : 0;
+                copies += mv->second.extractPending ? 1 : 0;
+            }
+            F4T_CHECK(copies == 1,
+                      "%s: MOVING flow %u has %zu TCB copies "
+                      "(fpc=%zu dram=%d transit=%d extract=%d)",
+                      name().c_str(), flow, copies, fpc_holders,
+                      in_dram ? 1 : 0,
+                      mv != moving_.end() && mv->second.inTransit ? 1 : 0,
+                      mv != moving_.end() && mv->second.extractPending
+                          ? 1 : 0);
+            break;
+          }
+          case Location::Kind::unallocated:
+            break;
+        }
+    }
+
+    // No module may hold a TCB the LUT forgot: every resident flow was
+    // visited above, so the per-module totals must match exactly.
+    std::size_t fpc_total = 0;
+    for (const Fpc *fpc : fpcs_)
+        fpc_total += fpc->flowCount();
+    F4T_CHECK(fpc_total == fpc_flows_seen,
+              "%s: FPCs hold %zu flows but the LUT accounts for %zu "
+              "(orphan TCB)", name().c_str(), fpc_total, fpc_flows_seen);
+    if (memoryManager_) {
+        F4T_CHECK(memoryManager_->flowCount() == dram_flows_seen,
+                  "%s: DRAM holds %zu flows but the LUT accounts for "
+                  "%zu (orphan TCB)", name().c_str(),
+                  memoryManager_->flowCount(), dram_flows_seen);
+    }
+
+    // Pended events always belong to allocated flows (the retry path
+    // can terminate only if their migrations eventually settle).
+    for (const PendingEntry &entry : pendingQueue_) {
+        F4T_CHECK(lut_[entry.event.flow].kind !=
+                      Location::Kind::unallocated,
+                  "%s: pended event for unallocated flow %u",
+                  name().c_str(), entry.event.flow);
+    }
 }
 
 void
@@ -349,6 +446,10 @@ Scheduler::progressInstalls()
 bool
 Scheduler::tick()
 {
+    // Between ticks every migration is in a steady, auditable state;
+    // mid-tick the LUT and module contents are transiently out of sync.
+    sim().maybeAudit();
+
     sim::Cycles cycle = curCycle();
 
     // Finish migrations whose TCB is waiting for the swap-in port.

@@ -72,11 +72,20 @@ class Scheduler : public sim::ClockedObject
   public:
     Scheduler(sim::Simulation &sim, std::string name,
               sim::ClockDomain &domain, const SchedulerConfig &config);
+    ~Scheduler() override;
 
     /** Wire up the FPCs; also registers this scheduler as their evict
      *  sink. Call once at construction time. */
     void attachFpcs(std::vector<Fpc *> fpcs);
     void attachMemoryManager(MemoryManager *manager);
+
+    /**
+     * Migration-protocol invariant audit (checked builds): every
+     * allocated flow's TCB exists in exactly one place consistent with
+     * its location-LUT entry — no TCB is lost or duplicated across
+     * MOVING states — and no module holds a TCB the LUT forgot.
+     */
+    void auditInvariants() const;
 
     // --- flow lifecycle ----------------------------------------------------
     /**

@@ -28,6 +28,8 @@ LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
 sim::Tick
 LinkDirection::send(Packet &&pkt)
 {
+    if (tap_)
+        tap_(pkt);
     ++packetsSent_;
     std::size_t wire_bytes = pkt.wireBytes();
     bytesSent_ += wire_bytes;
@@ -84,16 +86,24 @@ LinkDirection::deliver(Packet &&pkt, sim::Tick when)
 Link::Link(sim::Simulation &sim, std::string name,
            double bandwidth_bits_per_sec, sim::Tick propagation_delay,
            const FaultModel &faults)
+    : Link(sim, std::move(name), bandwidth_bits_per_sec,
+           propagation_delay, faults,
+           [&faults] {
+               FaultModel reverse = faults;
+               reverse.seed = faults.seed * 2654435761ULL + 1;
+               return reverse;
+           }())
+{}
+
+Link::Link(sim::Simulation &sim, std::string name,
+           double bandwidth_bits_per_sec, sim::Tick propagation_delay,
+           const FaultModel &faults_a_to_b,
+           const FaultModel &faults_b_to_a)
     : SimObject(sim, std::move(name)),
       aToB_(sim, this->name() + ".aToB", bandwidth_bits_per_sec,
-            propagation_delay, faults),
+            propagation_delay, faults_a_to_b),
       bToA_(sim, this->name() + ".bToA", bandwidth_bits_per_sec,
-            propagation_delay,
-            [&faults] {
-                FaultModel reverse = faults;
-                reverse.seed = faults.seed * 2654435761ULL + 1;
-                return reverse;
-            }())
+            propagation_delay, faults_b_to_a)
 {}
 
 void

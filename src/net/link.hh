@@ -17,6 +17,7 @@
 #define F4T_NET_LINK_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,14 @@ class LinkDirection : public sim::SimObject
     /** Connect the receiving end. Must be set before traffic flows. */
     void setSink(PacketSink *sink) { sink_ = sink; }
 
+    /**
+     * Test-only hook observing every packet accepted by send(), before
+     * fault injection. The packet is mutable so harnesses can corrupt
+     * payload bytes deliberately; trace capture uses it read-only.
+     */
+    using Tap = std::function<void(Packet &)>;
+    void setTap(Tap tap) { tap_ = std::move(tap); }
+
     /** Queue a packet for transmission; returns the delivery tick. */
     sim::Tick send(Packet &&pkt);
 
@@ -82,6 +91,7 @@ class LinkDirection : public sim::SimObject
     void deliver(Packet &&pkt, sim::Tick when);
 
     PacketSink *sink_ = nullptr;
+    Tap tap_;
     double bandwidth_;
     sim::Tick propagationDelay_;
     sim::Tick busyUntil_ = 0;
@@ -104,6 +114,13 @@ class Link : public sim::SimObject
          double bandwidth_bits_per_sec,
          sim::Tick propagation_delay = sim::nanosecondsToTicks(500),
          const FaultModel &faults = {});
+
+    /** Asymmetric variant: independent fault models per direction
+     *  (the fuzzer draws distinct drop/duplicate/reorder rates). */
+    Link(sim::Simulation &sim, std::string name,
+         double bandwidth_bits_per_sec, sim::Tick propagation_delay,
+         const FaultModel &faults_a_to_b,
+         const FaultModel &faults_b_to_a);
 
     /** Attach the two endpoints; direction A->B and B->A. */
     void connect(PacketSink &endpoint_a, PacketSink &endpoint_b);

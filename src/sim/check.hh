@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Always-on invariant checkers, compiled in behind F4T_ENABLE_CHECKS.
+ *
+ * The paper's headline properties — no TCB lost or duplicated across a
+ * migration, monotone cumulative sequence pointers, one event absorbed
+ * per two cycles per FPC — are exactly the invariants most likely to
+ * regress silently under refactors. Guarding them with f4t_assert alone
+ * would tax the release perf builds, so they live behind this macro
+ * layer instead:
+ *
+ *  - `F4T_CHECK(cond, fmt, ...)` panics like f4t_assert when checks are
+ *    compiled in and vanishes entirely (operands unevaluated) when not;
+ *  - `F4T_IF_CHECKS(code)` compiles `code` only in checked builds, for
+ *    bookkeeping state that exists purely to feed checks;
+ *  - `sim::checksEnabled` lets ordinary code branch at compile time.
+ *
+ * The CMake option F4T_ENABLE_CHECKS (default ON; the `release` perf
+ * preset turns it OFF) defines the macro for every target. Periodic
+ * whole-structure audits register with Simulation::registerAudit and
+ * run via Simulation::maybeAudit from module ticks, so every
+ * simulation — tests, fuzz runs, experiments — validates the protocol
+ * continuously, not just dedicated unit tests.
+ */
+
+#ifndef F4T_SIM_CHECK_HH
+#define F4T_SIM_CHECK_HH
+
+#include "sim/logging.hh"
+
+namespace f4t::sim
+{
+
+#ifdef F4T_ENABLE_CHECKS
+constexpr bool checksEnabled = true;
+#else
+constexpr bool checksEnabled = false;
+#endif
+
+} // namespace f4t::sim
+
+#ifdef F4T_ENABLE_CHECKS
+#define F4T_CHECK(cond, ...) f4t_assert(cond, __VA_ARGS__)
+#define F4T_IF_CHECKS(...) __VA_ARGS__
+#else
+/* sizeof keeps the operands unevaluated while still marking the
+ * variables that feed the check as used in checks-off builds. */
+#define F4T_CHECK(cond, ...)              \
+    do {                                  \
+        (void)sizeof((cond) ? 1 : 0);     \
+    } while (0)
+#define F4T_IF_CHECKS(...)
+#endif
+
+#endif // F4T_SIM_CHECK_HH

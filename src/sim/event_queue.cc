@@ -18,8 +18,13 @@ static_assert(EventQueue::numBuckets % 64 == 0,
 
 Event::~Event()
 {
-    if (scheduled_ && queue_)
-        queue_->deschedule(this);
+    // Detach fully, not just deschedule: lazy removal may have left
+    // squashed entries naming this event, and any entry surviving the
+    // destructor would dangle (isLive dereferences the event). When no
+    // entry names the event, the queue is not touched at all — it may
+    // legitimately have been destroyed first.
+    if (queue_ != nullptr && (scheduled_ || staleEntries_ > 0))
+        queue_->forget(this);
 }
 
 EventQueue::EventQueue()
@@ -39,11 +44,14 @@ EventQueue::~EventQueue()
     // call back into this dying queue.
     auto retire = [](Node &n) {
         Event *ev = n.event;
-        if (!ev->scheduled_ || n.generation != ev->generation_)
-            return; // squashed entry: nothing owned here
-        if (n.selfDeleting)
-            static_cast<CallbackEvent *>(ev)->fn_.reset();
-        ev->scheduled_ = false;
+        bool live = ev->scheduled_ && n.generation == ev->generation_;
+        if (live) {
+            if (n.selfDeleting)
+                static_cast<CallbackEvent *>(ev)->fn_.reset();
+            ev->scheduled_ = false;
+        }
+        // Detach squashed entries' events too, so their destructors
+        // do not call forget() on this dying queue.
         ev->queue_ = nullptr;
     };
     if (soloEvent_ != nullptr) {
@@ -258,7 +266,60 @@ EventQueue::deschedule(Event *ev)
     }
     // Lazy removal: the generation bump above squashes the entry.
     ++deadEntries_;
+    ++ev->staleEntries_;
     maybeCompact();
+}
+
+void
+EventQueue::forget(Event *ev)
+{
+    deschedule(ev);
+
+    // Purge every squashed entry still naming the event. This runs
+    // only from ~Event — object teardown, never the hot path — so a
+    // full container sweep is acceptable.
+    for (std::size_t word = 0; word < bitsWords; ++word) {
+        std::uint64_t w = bits_[word];
+        while (w != 0) {
+            std::size_t b = (word << 6) + std::countr_zero(w);
+            w &= w - 1;
+            Node **link = &buckets_[b];
+            Node *last = nullptr;
+            while (Node *n = *link) {
+                if (n->event != ev) {
+                    last = n;
+                    link = &n->next;
+                    continue;
+                }
+                *link = n->next;
+                --ladderNodes_;
+                droppedDead(ev);
+                releaseNode(n);
+            }
+            tails_[b] = last;
+            if (buckets_[b] == nullptr)
+                clearBit(b);
+        }
+    }
+
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        if (heap_[i].event != ev) {
+            heap_[kept++] = heap_[i];
+        } else {
+            droppedDead(ev);
+        }
+    }
+    if (kept != heap_.size()) {
+        heap_.resize(kept);
+        std::make_heap(heap_.begin(), heap_.end(), HeapCompare{});
+    }
+
+    f4t_assert(ev->staleEntries_ == 0,
+               "forget left %u stale entries for event '%s'",
+               ev->staleEntries_, ev->description().c_str());
+    ev->queue_ = nullptr;
+    checkAccounting();
 }
 
 void
@@ -286,9 +347,10 @@ void
 EventQueue::skipSquashed()
 {
     while (!heap_.empty() && !isLive(heap_.front())) {
+        Event *dead = heap_.front().event;
         std::pop_heap(heap_.begin(), heap_.end(), HeapCompare{});
         heap_.pop_back();
-        droppedDead();
+        droppedDead(dead);
     }
 }
 
@@ -323,7 +385,7 @@ EventQueue::compact()
                 }
                 *link = n->next;
                 --ladderNodes_;
-                droppedDead();
+                droppedDead(n->event);
                 releaseNode(n);
             }
             tails_[b] = last;
@@ -338,7 +400,7 @@ EventQueue::compact()
         if (isLive(heap_[i])) {
             heap_[kept++] = heap_[i];
         } else {
-            droppedDead();
+            droppedDead(heap_[i].event);
         }
     }
     heap_.resize(kept);
@@ -394,7 +456,7 @@ EventQueue::rebaseLadder()
         std::pop_heap(heap_.begin(), heap_.end(), HeapCompare{});
         heap_.pop_back();
         if (!isLive(top)) {
-            droppedDead();
+            droppedDead(top.event);
             continue;
         }
         insertLadder(top.when, top.priority, top.seq, top.generation,
@@ -414,7 +476,7 @@ EventQueue::findCandidate()
             while (n != nullptr && !isLive(*n)) {
                 buckets_[b] = n->next;
                 --ladderNodes_;
-                droppedDead();
+                droppedDead(n->event);
                 releaseNode(n);
                 n = buckets_[b];
             }

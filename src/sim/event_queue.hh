@@ -39,11 +39,12 @@
  * allocator in steady state.
  *
  * Lifetime rule: because descheduling is lazy, a descheduled Event
- * may still be referenced by a squashed entry. An Event must
- * therefore outlive the queue entries that refer to it; in practice,
- * make events members of modules that live as long as the Simulation
- * (the usual gem5 convention), or let the destructor run only after
- * the queue has drained past the event's old tick.
+ * may still be referenced by a squashed entry. ~Event therefore calls
+ * forget(), which purges every entry naming the event — an Event may
+ * be destroyed at any time without leaving a dangling pointer behind.
+ * The queue itself must outlive any event that was ever scheduled on
+ * it; in practice, make events members of modules that live no longer
+ * than the Simulation (the usual gem5 convention).
  */
 
 #ifndef F4T_SIM_EVENT_QUEUE_HH
@@ -101,6 +102,8 @@ class Event
     int priority_;
     bool scheduled_ = false;
     std::uint64_t generation_ = 0; ///< bumped on deschedule to squash
+    /** Squashed container entries still naming this event. */
+    std::uint32_t staleEntries_ = 0;
     EventQueue *queue_ = nullptr;
 };
 
@@ -163,6 +166,13 @@ class EventQueue
 
     /** Remove a scheduled event; no-op if it is not scheduled. */
     void deschedule(Event *ev);
+
+    /**
+     * Deschedule and purge every container entry naming @p ev, live
+     * or squashed, so no dangling pointer survives the event's
+     * destruction. Called by ~Event; O(containers), teardown-only.
+     */
+    void forget(Event *ev);
 
     /** Deschedule if needed and schedule at the new time. */
     void reschedule(Event *ev, Tick when);
@@ -328,9 +338,14 @@ class EventQueue
     void recycleCallback(CallbackEvent *ev);
 
     /** Drop a dead entry's bookkeeping (shared by all removal paths). */
-    void droppedDead() { f4t_assert(deadEntries_ > 0,
-                                    "dead entry count underflow");
-                         --deadEntries_; }
+    void
+    droppedDead(Event *ev)
+    {
+        f4t_assert(deadEntries_ > 0, "dead entry count underflow");
+        f4t_assert(ev->staleEntries_ > 0, "stale entry count underflow");
+        --deadEntries_;
+        --ev->staleEntries_;
+    }
 
     void setBit(std::size_t idx);
     void clearBit(std::size_t idx);

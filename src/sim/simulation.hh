@@ -7,10 +7,12 @@
 #ifndef F4T_SIM_SIMULATION_HH
 #define F4T_SIM_SIMULATION_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -119,12 +121,77 @@ class Simulation
     /** Run for a further @p duration ticks of simulated time. */
     Tick runFor(Tick duration) { return queue_.run(now() + duration); }
 
+    // --- invariant audits (see sim/check.hh) --------------------------------
+    /**
+     * Register a whole-structure invariant audit. @p owner keys later
+     * deregistration (a module registers with `this` and deregisters in
+     * its destructor). Without F4T_ENABLE_CHECKS the audit is dropped.
+     */
+    void
+    registerAudit(const void *owner, std::string name,
+                  std::function<void()> fn)
+    {
+        if constexpr (checksEnabled)
+            audits_.push_back(Audit{owner, std::move(name), std::move(fn)});
+        else
+            (void)owner, (void)name, (void)fn;
+    }
+
+    /** Remove every audit registered by @p owner. */
+    void
+    deregisterAudits(const void *owner)
+    {
+        std::erase_if(audits_,
+                      [owner](const Audit &a) { return a.owner == owner; });
+    }
+
+    /** Run every registered audit immediately. */
+    void
+    runAudits()
+    {
+        ++auditRuns_;
+        for (const Audit &audit : audits_)
+            audit.fn();
+    }
+
+    /**
+     * Throttled audit entry point for module ticks: runs the audits at
+     * most once per audit interval of simulated time. Compiles to
+     * nothing when checks are off.
+     */
+    void
+    maybeAudit()
+    {
+        if constexpr (checksEnabled) {
+            if (now() >= nextAuditAt_ && !audits_.empty()) {
+                nextAuditAt_ = now() + auditInterval_;
+                runAudits();
+            }
+        }
+    }
+
+    /** Times runAudits() completed (tests verify audits actually ran). */
+    std::uint64_t auditRuns() const { return auditRuns_; }
+
+    void setAuditInterval(Tick interval) { auditInterval_ = interval; }
+
   private:
+    struct Audit
+    {
+        const void *owner;
+        std::string name;
+        std::function<void()> fn;
+    };
+
     EventQueue queue_;
     StatRegistry stats_;
     ClockDomain engineClock_;
     ClockDomain netClock_;
     ClockDomain hostClock_;
+    std::vector<Audit> audits_;
+    Tick nextAuditAt_ = 0;
+    Tick auditInterval_ = microsecondsToTicks(50);
+    std::uint64_t auditRuns_ = 0;
 };
 
 /** Base class for named simulation modules. */

@@ -241,7 +241,13 @@ SoftTcpStack::connect(net::Ipv4Address remote_ip, std::uint16_t remote_port)
 std::size_t
 SoftTcpStack::send(SoftConnId id, std::span<const std::uint8_t> data)
 {
-    Conn &conn = get(id);
+    // Upcalls are delivered with wakeup jitter, so an app can issue a
+    // syscall against a connection the stack already destroyed (the
+    // EBADF case on real kernels): tolerate it like readable()/close().
+    Conn *conn_ptr = find(id);
+    if (!conn_ptr)
+        return 0;
+    Conn &conn = *conn_ptr;
     if (conn.state != ConnState::established &&
         conn.state != ConnState::closeWait &&
         conn.state != ConnState::synSent) {
@@ -263,7 +269,10 @@ SoftTcpStack::send(SoftConnId id, std::span<const std::uint8_t> data)
 std::size_t
 SoftTcpStack::recv(SoftConnId id, std::span<std::uint8_t> out)
 {
-    Conn &conn = get(id);
+    Conn *conn_ptr = find(id);
+    if (!conn_ptr)
+        return 0; // see send(): jitter-delayed upcall, EBADF semantics
+    Conn &conn = *conn_ptr;
     std::size_t avail = static_cast<std::size_t>(
         conn.rcvNxt - conn.rxRing.base());
     std::size_t n = out.size() < avail ? out.size() : avail;
@@ -453,11 +462,14 @@ SoftTcpStack::handleSegment(Conn &conn, const net::TcpHeader &tcp,
         return;
     }
 
-    if (tcp.hasFlag(TcpFlags::ack))
+    if (tcp.hasFlag(TcpFlags::ack)) {
+        // processAck destroys the connection when the ACK completes
+        // LAST_ACK, so re-look it up instead of touching `conn` after.
+        const SoftConnId id = conn.id;
         processAck(conn, tcp);
-
-    if (conn.state == ConnState::closed)
-        return; // processAck may have finished LAST_ACK
+        if (find(id) == nullptr)
+            return;
+    }
 
     if (!payload.empty() || tcp.hasFlag(TcpFlags::fin))
         acceptPayload(conn, tcp, payload);

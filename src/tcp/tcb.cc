@@ -1,5 +1,7 @@
 #include "tcb.hh"
 
+#include "sim/check.hh"
+
 namespace f4t::tcp
 {
 
@@ -187,6 +189,26 @@ accumulateEvent(EventRecord &record, const Tcb &stored,
       }
     }
     return false;
+}
+
+void
+checkTcbInvariants(const Tcb &tcb, const char *where)
+{
+    if constexpr (!sim::checksEnabled)
+        return;
+    (void)where;
+    if (!stateSynchronized(tcb.state))
+        return;
+    F4T_CHECK(net::seqLeq(tcb.sndUna, tcb.sndNxt),
+              "%s: flow %u (%s) sndUna %u ahead of sndNxt %u", where,
+              tcb.flowId, toString(tcb.state), tcb.sndUna, tcb.sndNxt);
+    F4T_CHECK(net::seqLeq(tcb.userRead, tcb.rcvNxt),
+              "%s: flow %u (%s) userRead %u ahead of rcvNxt %u", where,
+              tcb.flowId, toString(tcb.state), tcb.userRead, tcb.rcvNxt);
+    F4T_CHECK(net::seqLeq(tcb.sndUnaProcessed, tcb.sndNxt),
+              "%s: flow %u (%s) sndUnaProcessed %u ahead of sndNxt %u",
+              where, tcb.flowId, toString(tcb.state), tcb.sndUnaProcessed,
+              tcb.sndNxt);
 }
 
 bool

@@ -319,6 +319,29 @@ struct TcpEvent
 bool accumulateEvent(EventRecord &record, const Tcb &stored,
                      const TcpEvent &event);
 
+/**
+ * Sequence-space sanity for a TCB at a module boundary (FPU write-back,
+ * DRAM event accumulation): once a connection is synchronized, the
+ * cumulative pointers must satisfy sndUna <= sndNxt and
+ * userRead <= rcvNxt. Panics via F4T_CHECK; a no-op without
+ * F4T_ENABLE_CHECKS. @p where names the call site for the report.
+ */
+void checkTcbInvariants(const Tcb &tcb, const char *where);
+
+/** True for states at or past connection synchronization, where the
+ *  cumulative-pointer invariants of checkTcbInvariants() apply. */
+constexpr bool
+stateSynchronized(ConnState state)
+{
+    return state == ConnState::established ||
+           state == ConnState::finWait1 ||
+           state == ConnState::finWait2 ||
+           state == ConnState::closing ||
+           state == ConnState::timeWait ||
+           state == ConnState::closeWait ||
+           state == ConnState::lastAck;
+}
+
 } // namespace f4t::tcp
 
 #endif // F4T_TCP_TCB_HH

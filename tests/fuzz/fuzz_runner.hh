@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Fuzz runner: executes one Scenario on a chosen world flavor and
+ * collects everything a failure report needs — the oracle verdict, the
+ * ledger digest for differential comparison, and a bounded tail of the
+ * packet trace captured through the link taps.
+ *
+ * runDifferential() runs the same seed on all three worlds
+ * (FtEngine/FtEngine, FtEngine/Linux, Linux/Linux) and asserts they
+ * agree on delivered bytes, stream digests, and connection outcomes.
+ * Timing differs wildly between the stacks; the *application-visible
+ * byte streams* must not.
+ */
+
+#ifndef F4T_TESTS_FUZZ_RUNNER_HH
+#define F4T_TESTS_FUZZ_RUNNER_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "apps/testbed.hh"
+#include "net/stream_oracle.hh"
+
+#include "fuzz_apps.hh"
+#include "fuzz_scenario.hh"
+
+namespace f4t::fuzz
+{
+
+enum class WorldKind
+{
+    enginePair,
+    engineLinux,
+    linuxPair,
+};
+
+inline const char *
+toString(WorldKind kind)
+{
+    switch (kind) {
+      case WorldKind::enginePair: return "enginePair";
+      case WorldKind::engineLinux: return "engineLinux";
+      case WorldKind::linuxPair: return "linuxPair";
+    }
+    return "?";
+}
+
+constexpr WorldKind allWorlds[] = {WorldKind::enginePair,
+                                   WorldKind::engineLinux,
+                                   WorldKind::linuxPair};
+
+/** Last-N packet log fed from the link taps (read-only observation). */
+class TraceRing
+{
+  public:
+    void
+    record(sim::Tick now, const char *dir, const net::Packet &pkt)
+    {
+        char buf[160];
+        if (pkt.isTcp()) {
+            const net::TcpHeader &tcp = pkt.tcp();
+            std::snprintf(
+                buf, sizeof(buf),
+                "%12.3fus %s %5u->%-5u seq=%u ack=%u len=%zu%s%s%s%s",
+                sim::ticksToSeconds(now) * 1e6, dir, tcp.srcPort,
+                tcp.dstPort, tcp.seq, tcp.ack, pkt.payload.size(),
+                tcp.hasFlag(net::TcpFlags::syn) ? " SYN" : "",
+                tcp.hasFlag(net::TcpFlags::fin) ? " FIN" : "",
+                tcp.hasFlag(net::TcpFlags::rst) ? " RST" : "",
+                tcp.hasFlag(net::TcpFlags::ack) ? " ACK" : "");
+        } else {
+            std::snprintf(buf, sizeof(buf), "%12.3fus %s %s",
+                          sim::ticksToSeconds(now) * 1e6, dir,
+                          pkt.isArp() ? "ARP" : "non-TCP");
+        }
+        if (entries_.size() >= capacity)
+            entries_.pop_front();
+        entries_.emplace_back(buf);
+    }
+
+    std::string
+    dump() const
+    {
+        std::string out = "last " + std::to_string(entries_.size()) +
+                          " packets on the wire:";
+        for (const std::string &e : entries_)
+            out += "\n    " + e;
+        return out;
+    }
+
+  private:
+    static constexpr std::size_t capacity = 48;
+    std::deque<std::string> entries_;
+};
+
+struct RunResult
+{
+    bool completed = false;    ///< every connection reached a terminal state
+    bool oraclePassed = false; ///< byte-stream ledger clean
+    std::uint64_t ledgerDigest = 0;
+    std::uint64_t deliveredBytes = 0;
+    std::uint64_t auditRuns = 0; ///< invariant-audit sweeps that ran
+    std::string failureReport;   ///< nonempty iff the run failed
+
+    bool ok() const { return completed && oraclePassed; }
+};
+
+/** Optional packet mutation hook (the corruption-detection test). */
+using PacketMutator = std::function<void(net::Packet &)>;
+
+namespace detail
+{
+
+inline RunResult
+drive(sim::Simulation &sim, net::Link &link, apps::SocketApi &client_api,
+      apps::SocketApi &server_api, const Scenario &sc,
+      const char *world_name, const PacketMutator &mutate)
+{
+    net::StreamOracle oracle;
+    TraceRing trace;
+    link.aToB().setTap([&](net::Packet &pkt) {
+        if (mutate)
+            mutate(pkt);
+        trace.record(sim.now(), "A->B", pkt);
+    });
+    link.bToA().setTap(
+        [&](net::Packet &pkt) { trace.record(sim.now(), "B->A", pkt); });
+
+    FuzzServer server(server_api, oracle);
+    server.start();
+    FuzzClient client(client_api, sc, oracle);
+    client.start();
+
+    // Drive in slices so the completion check runs between them. If
+    // the queue drains early (now stops short of the slice target) no
+    // further event can ever fire: stop rather than spin to deadline.
+    const sim::Tick slice = sim::microsecondsToTicks(200);
+    while (!client.done() && sim.now() < sc.deadline) {
+        sim::Tick target = sim.now() + slice;
+        sim.run(target);
+        if (sim.now() < target)
+            break;
+    }
+
+    RunResult result;
+    result.completed = client.done();
+    for (std::size_t i = 0; i < sc.conns.size(); ++i) {
+        auto conn = static_cast<std::uint32_t>(i);
+        oracle.expectFullyDelivered(upStream(conn));
+        oracle.expectFullyDelivered(downStream(conn));
+    }
+    result.oraclePassed = oracle.passed();
+    result.ledgerDigest = oracle.ledgerDigest();
+    result.deliveredBytes = oracle.totalDeliveredBytes();
+    result.auditRuns = sim.auditRuns();
+
+    if (!result.ok()) {
+        result.failureReport = std::string("fuzz run failed on world ") +
+                               world_name + "\n  " + sc.describe();
+        if (!result.completed) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "\n  deadline hit at %.3fms with connections "
+                          "still open",
+                          sim::ticksToSeconds(sim.now()) * 1e3);
+            result.failureReport += buf;
+        }
+        result.failureReport += "\n  " + oracle.report();
+        result.failureReport += "\n  " + trace.dump();
+    }
+    return result;
+}
+
+} // namespace detail
+
+inline RunResult
+runScenario(WorldKind kind, const Scenario &sc,
+            const PacketMutator &mutate = {})
+{
+    switch (kind) {
+      case WorldKind::enginePair: {
+        core::EngineConfig config;
+        config.numFpcs = 2;
+        config.flowsPerFpc = 32;
+        config.maxFlows = 1024;
+        testbed::EnginePairWorld world(1, config, sc.faultsAtoB,
+                                       sc.bandwidthBps, sc.faultsBtoA);
+        auto client_api = world.apiA(0);
+        auto server_api = world.apiB(0);
+        return detail::drive(world.sim, *world.link, client_api,
+                             server_api, sc, toString(kind), mutate);
+      }
+      case WorldKind::engineLinux: {
+        core::EngineConfig config;
+        config.numFpcs = 1;
+        config.flowsPerFpc = 32;
+        config.maxFlows = 256;
+        testbed::EngineLinuxWorld world(1, 1, config, {}, sc.faultsAtoB,
+                                        sc.bandwidthBps, sc.faultsBtoA);
+        auto client_api = world.engineApi(0);
+        auto server_api = world.linuxApi(0);
+        return detail::drive(world.sim, *world.link, client_api,
+                             server_api, sc, toString(kind), mutate);
+      }
+      case WorldKind::linuxPair: {
+        testbed::LinuxPairWorld world(1, {}, sc.faultsAtoB,
+                                      sc.bandwidthBps, sc.faultsBtoA);
+        auto client_api = world.apiA(0);
+        auto server_api = world.apiB(0);
+        return detail::drive(world.sim, *world.link, client_api,
+                             server_api, sc, toString(kind), mutate);
+      }
+    }
+    return {};
+}
+
+/**
+ * Run one seed on all three worlds and cross-check. Returns an empty
+ * string on agreement; otherwise a report naming the seed, the
+ * scenario, and what diverged.
+ */
+inline std::string
+runDifferential(std::uint64_t seed)
+{
+    Scenario sc = Scenario::fromSeed(seed);
+
+    RunResult results[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+        results[i] = runScenario(allWorlds[i], sc);
+        if (!results[i].ok())
+            return results[i].failureReport;
+    }
+
+    std::string report;
+    for (std::size_t i = 1; i < 3; ++i) {
+        if (results[i].ledgerDigest != results[0].ledgerDigest ||
+            results[i].deliveredBytes != results[0].deliveredBytes) {
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "differential mismatch %s vs %s: digest %016llx/%016llx "
+                "delivered %llu/%llu\n  %s",
+                toString(allWorlds[0]), toString(allWorlds[i]),
+                static_cast<unsigned long long>(results[0].ledgerDigest),
+                static_cast<unsigned long long>(results[i].ledgerDigest),
+                static_cast<unsigned long long>(results[0].deliveredBytes),
+                static_cast<unsigned long long>(results[i].deliveredBytes),
+                sc.describe().c_str());
+            report += buf;
+        }
+    }
+    return report;
+}
+
+} // namespace f4t::fuzz
+
+#endif // F4T_TESTS_FUZZ_RUNNER_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic fuzz scenario generation.
+ *
+ * A Scenario is a pure function of a single 64-bit seed: connection
+ * count, per-connection request/response sizes and chunking, staggered
+ * connect times, independent per-direction fault rates, and link
+ * bandwidth are all drawn from one sim::Random stream. The same seed
+ * therefore reproduces the same world inputs on every run and on every
+ * world flavor (engine/engine, engine/Linux, Linux/Linux), which is
+ * what makes differential comparison and seed replay possible.
+ */
+
+#ifndef F4T_TESTS_FUZZ_SCENARIO_HH
+#define F4T_TESTS_FUZZ_SCENARIO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/link.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace f4t::fuzz
+{
+
+/** One logical client connection's workload. */
+struct ConnPlan
+{
+    std::uint32_t requestBytes = 0;  ///< client -> server payload
+    std::uint32_t responseBytes = 0; ///< server -> client payload
+    std::uint32_t chunkBytes = 0;    ///< client send() granularity
+    sim::Tick connectDelay = 0;      ///< stagger from t=0
+};
+
+struct Scenario
+{
+    std::uint64_t seed = 0;
+    std::vector<ConnPlan> conns;
+    net::FaultModel faultsAtoB;
+    net::FaultModel faultsBtoA;
+    double bandwidthBps = 100e9;
+    /** Give up (and fail) if the run has not completed by this tick. */
+    sim::Tick deadline = 0;
+
+    static Scenario fromSeed(std::uint64_t seed);
+
+    /** One-line parameter dump for failure reports. */
+    std::string describe() const;
+};
+
+inline net::FaultModel
+drawFaultModel(sim::Random &rng, std::uint64_t link_seed, bool force)
+{
+    net::FaultModel faults;
+    faults.seed = link_seed;
+    // Mostly-faulty corpus: a faultless direction occasionally keeps
+    // the clean path honest too.
+    if (force || rng.chance(0.85)) {
+        faults.dropProbability = rng.uniform() * 0.012;
+        faults.duplicateProbability = rng.uniform() * 0.008;
+        faults.reorderProbability = rng.uniform() * 0.02;
+        faults.reorderMaxDelay =
+            sim::microsecondsToTicks(rng.between(1, 30));
+    }
+    return faults;
+}
+
+inline bool
+hasFaults(const net::FaultModel &faults)
+{
+    return faults.dropProbability > 0 || faults.duplicateProbability > 0 ||
+           faults.reorderProbability > 0;
+}
+
+inline Scenario
+Scenario::fromSeed(std::uint64_t seed)
+{
+    // Splash the seed so neighboring seeds diverge immediately.
+    sim::Random rng(seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+
+    Scenario sc;
+    sc.seed = seed;
+
+    std::size_t conn_count = rng.between(1, 5);
+    for (std::size_t i = 0; i < conn_count; ++i) {
+        ConnPlan plan;
+        std::uint32_t base = 1u << rng.between(8, 13); // 256..8192
+        plan.requestBytes = base + static_cast<std::uint32_t>(
+            rng.below(base)); // jitter: 256..16383
+        plan.responseBytes = 4 + static_cast<std::uint32_t>(rng.below(4096));
+        plan.chunkBytes = 64u << rng.between(0, 5); // 64..2048
+        plan.connectDelay = sim::microsecondsToTicks(rng.below(40));
+        sc.conns.push_back(plan);
+    }
+
+    sc.faultsAtoB = drawFaultModel(rng, seed * 2 + 1, false);
+    sc.faultsBtoA = drawFaultModel(rng, seed * 2 + 0x51ed2701, false);
+    if (!hasFaults(sc.faultsAtoB) && !hasFaults(sc.faultsBtoA))
+        sc.faultsAtoB = drawFaultModel(rng, seed * 2 + 1, true);
+
+    constexpr double bandwidths[] = {10e9, 25e9, 100e9};
+    sc.bandwidthBps = bandwidths[rng.below(3)];
+
+    // Event-driven worlds idle for free, so the deadline is generous:
+    // hitting it means retransmission stopped making progress.
+    sc.deadline = sim::secondsToTicks(2.0);
+    return sc;
+}
+
+inline std::string
+Scenario::describe() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "seed=0x%llx conns=%zu bw=%.0fG "
+                  "A->B[drop=%.4f dup=%.4f reorder=%.4f] "
+                  "B->A[drop=%.4f dup=%.4f reorder=%.4f]",
+                  static_cast<unsigned long long>(seed), conns.size(),
+                  bandwidthBps / 1e9, faultsAtoB.dropProbability,
+                  faultsAtoB.duplicateProbability,
+                  faultsAtoB.reorderProbability,
+                  faultsBtoA.dropProbability,
+                  faultsBtoA.duplicateProbability,
+                  faultsBtoA.reorderProbability);
+    std::string out = buf;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "\n  conn %zu: req=%u resp=%u chunk=%u delay=%.1fus",
+                      i, conns[i].requestBytes, conns[i].responseBytes,
+                      conns[i].chunkBytes,
+                      sim::ticksToSeconds(conns[i].connectDelay) * 1e6);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace f4t::fuzz
+
+#endif // F4T_TESTS_FUZZ_SCENARIO_HH

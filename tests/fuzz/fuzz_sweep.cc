@@ -1,0 +1,47 @@
+/**
+ * @file
+ * fuzz_sweep: the long-running randomized differential sweep.
+ *
+ *   fuzz_sweep [first_seed] [count]
+ *
+ * Runs `count` consecutive seeds starting at `first_seed` (defaults:
+ * 1000, 50), each as a full three-world differential run, and exits
+ * nonzero on the first divergence or oracle violation. The failure
+ * report names the seed; replay it with `fuzz_sweep <seed> 1`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace f4t::fuzz;
+
+    std::uint64_t first = 1000;
+    std::uint64_t count = 50;
+    if (argc > 1)
+        first = std::strtoull(argv[1], nullptr, 0);
+    if (argc > 2)
+        count = std::strtoull(argv[2], nullptr, 0);
+
+    std::printf("fuzz_sweep: seeds [%llu, %llu)\n",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(first + count));
+    for (std::uint64_t seed = first; seed < first + count; ++seed) {
+        std::string report = runDifferential(seed);
+        if (!report.empty()) {
+            std::printf("FAIL seed %llu\n%s\n",
+                        static_cast<unsigned long long>(seed),
+                        report.c_str());
+            return 1;
+        }
+        std::printf("  seed %llu ok\n",
+                    static_cast<unsigned long long>(seed));
+    }
+    std::printf("fuzz_sweep: %llu seeds passed\n",
+                static_cast<unsigned long long>(count));
+    return 0;
+}

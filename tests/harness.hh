@@ -1,17 +1,103 @@
 /**
  * @file
- * Test alias for the shared two-node testbed builders, which live in
- * apps/testbed.hh so benchmarks and examples use the same worlds.
+ * Shared test harness.
+ *
+ * Re-exports the two-node testbed worlds (apps/testbed.hh — benchmarks
+ * and examples build the same ones) and adds the helpers the test
+ * suite kept reinventing privately:
+ *
+ *  - caller-located checks: fixture helpers assert on behalf of their
+ *    caller, so failures must point at the *test* line, not the
+ *    helper. Pass F4T_TEST_HERE into the helper and report through
+ *    expectTrue/expectEq, or use the F4T_EXPECT / F4T_EXPECT_EQ
+ *    macros directly;
+ *  - ScopedRng: a fixed-seed sim::Random that, if the test ends up
+ *    failing, prints its seed so the failure is reproducible even
+ *    when someone later randomizes it;
+ *  - runFor / settle: microsecond-denominated simulation advance.
  */
 
 #ifndef F4T_TESTS_HARNESS_HH
 #define F4T_TESTS_HARNESS_HH
 
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
 #include "apps/testbed.hh"
+#include "sim/random.hh"
 
 namespace f4t::test
 {
 using namespace f4t::testbed;
+
+/** Advance @p sim by @p us microseconds of simulated time. */
+inline void
+runFor(sim::Simulation &sim, double us)
+{
+    sim.runFor(sim::microsecondsToTicks(us));
+}
+
+/** A call site captured in the test body (see file comment). */
+struct SourceLoc
+{
+    const char *file;
+    int line;
+};
+
+#define F4T_TEST_HERE (::f4t::test::SourceLoc{__FILE__, __LINE__})
+
+inline void
+expectTrue(bool ok, const char *what, SourceLoc loc)
+{
+    if (!ok)
+        ADD_FAILURE_AT(loc.file, loc.line) << "expected: " << what;
+}
+
+template <class A, class B>
+void
+expectEq(const A &actual, const B &expected, const char *actual_expr,
+         const char *expected_expr, SourceLoc loc)
+{
+    if (!(actual == expected)) {
+        std::ostringstream oss;
+        oss << "expected " << actual_expr << " == " << expected_expr
+            << "\n  actual: " << actual << "\n  expected: " << expected;
+        ADD_FAILURE_AT(loc.file, loc.line) << oss.str();
+    }
+}
+
+#define F4T_EXPECT(cond) \
+    ::f4t::test::expectTrue((cond), #cond, F4T_TEST_HERE)
+#define F4T_EXPECT_EQ(actual, expected) \
+    ::f4t::test::expectEq((actual), (expected), #actual, #expected, \
+                          F4T_TEST_HERE)
+
+/**
+ * Fixed-seed RNG whose seed is echoed when the owning test fails, so
+ * a red run always carries its reproduction recipe.
+ */
+class ScopedRng : public sim::Random
+{
+  public:
+    explicit ScopedRng(std::uint64_t seed) : sim::Random(seed), seed_(seed)
+    {}
+
+    ~ScopedRng()
+    {
+        if (::testing::Test::HasFailure()) {
+            std::printf("[ ScopedRng] test used seed %llu\n",
+                        static_cast<unsigned long long>(seed_));
+        }
+    }
+
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+};
+
 } // namespace f4t::test
 
 #endif // F4T_TESTS_HARNESS_HH

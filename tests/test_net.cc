@@ -16,7 +16,7 @@
 #include "net/link.hh"
 #include "net/packet.hh"
 #include "net/seq.hh"
-#include "sim/random.hh"
+#include "harness.hh"
 #include "sim/simulation.hh"
 
 namespace f4t::net
@@ -404,7 +404,7 @@ TEST(IntervalSet, EraseBelowTruncates)
 
 TEST(IntervalSet, RandomizedAgainstBitmapOracle)
 {
-    sim::Random rng(5);
+    test::ScopedRng rng(5);
     constexpr std::size_t space = 2048;
     for (int round = 0; round < 20; ++round) {
         IntervalSet set;
@@ -516,6 +516,18 @@ dataPacket(std::size_t payload_bytes)
                            tcp, std::vector<std::uint8_t>(payload_bytes));
 }
 
+/** Caller-located tick comparison with a small tolerance. */
+void
+expectTickNear(sim::Tick actual, sim::Tick expected, test::SourceLoc loc)
+{
+    sim::Tick delta =
+        actual > expected ? actual - expected : expected - actual;
+    if (delta > 10) {
+        ADD_FAILURE_AT(loc.file, loc.line)
+            << "tick " << actual << " not within 10 of " << expected;
+    }
+}
+
 TEST(LinkModel, SerializationTimeMatchesBandwidth)
 {
     sim::Simulation sim;
@@ -532,8 +544,7 @@ TEST(LinkModel, SerializationTimeMatchesBandwidth)
     ASSERT_EQ(b.packets.size(), 1u);
     sim::Tick expect = sim::secondsToTicks(1538.0 * 8 / 100e9) +
                        sim::nanosecondsToTicks(500);
-    EXPECT_NEAR(static_cast<double>(b.arrivals[0]),
-                static_cast<double>(expect), 10.0);
+    expectTickNear(b.arrivals[0], expect, F4T_TEST_HERE);
 }
 
 TEST(LinkModel, BackToBackPacketsQueueBehindEachOther)
@@ -551,8 +562,8 @@ TEST(LinkModel, BackToBackPacketsQueueBehindEachOther)
     ASSERT_EQ(b.packets.size(), 10u);
     sim::Tick per_packet = sim::secondsToTicks(1538.0 * 8 / 100e9);
     for (std::size_t i = 1; i < b.arrivals.size(); ++i) {
-        EXPECT_NEAR(static_cast<double>(b.arrivals[i] - b.arrivals[i - 1]),
-                    static_cast<double>(per_packet), 10.0);
+        expectTickNear(b.arrivals[i] - b.arrivals[i - 1], per_packet,
+                       F4T_TEST_HERE);
     }
 }
 

@@ -13,8 +13,9 @@
 
 #include "core/memory_manager.hh"
 #include "core/scheduler.hh"
+#include "harness.hh"
 #include "mem/dram.hh"
-#include "sim/random.hh"
+#include "sim/check.hh"
 #include "sim/simulation.hh"
 
 namespace f4t::core
@@ -102,7 +103,17 @@ struct SchedulerFixture : ::testing::Test
     void
     settle(double us = 20)
     {
-        sim.runFor(sim::microsecondsToTicks(us));
+        test::runFor(sim, us);
+    }
+
+    /** Caller-located: failures point at the test, not this helper. */
+    void
+    expectLocation(tcp::FlowId flow, Location::Kind kind,
+                   test::SourceLoc loc)
+    {
+        test::expectEq(static_cast<int>(scheduler->location(flow).kind),
+                       static_cast<int>(kind), "location(flow).kind",
+                       "expected kind", loc);
     }
 };
 
@@ -117,7 +128,7 @@ TEST_F(SchedulerFixture, NewFlowsGoToLeastLoadedFpc)
     for (auto &fpc : fpcs)
         EXPECT_EQ(fpc->flowCount(), 2u);
     for (tcp::FlowId flow = 0; flow < 8; ++flow)
-        EXPECT_EQ(scheduler->location(flow).kind, Location::Kind::fpc);
+        expectLocation(flow, Location::Kind::fpc, F4T_TEST_HERE);
 }
 
 TEST_F(SchedulerFixture, OverflowFlowsFallToDram)
@@ -263,7 +274,7 @@ TEST_F(SchedulerFixture, ManyFlowsChurnWithoutLossOrDeadlock)
     // Rounds of events over all flows: constant swapping through the
     // 8 FPC slots. Every event's effect must eventually appear.
     std::vector<std::uint32_t> req_offset(flows, 0);
-    sim::Random rng(77);
+    test::ScopedRng rng(77);
     for (int round = 0; round < 10; ++round) {
         for (tcp::FlowId flow = 0; flow < flows; ++flow) {
             req_offset[flow] += 100 + static_cast<std::uint32_t>(
@@ -376,6 +387,73 @@ TEST_F(SchedulerFixture, CongestionTriggersRebalancing)
     settle(100);
 
     EXPECT_GT(scheduler->rebalances(), 0u);
+}
+
+TEST_F(SchedulerFixture, MigrationProtocolChurnTerminatesConsistently)
+{
+    // Eviction/swap-in churn through a tiny FPC footprint: 16 flows
+    // over 4 slots, every round touching the DRAM-resident majority so
+    // the location LUT cycles fpc -> dram -> moving -> fpc constantly.
+    build(2, 2, mem::DramConfig::hbm(), 8);
+    constexpr tcp::FlowId flows = 16;
+    std::vector<std::uint32_t> req_offset(flows, 0);
+    for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+        scheduler->allocateFlow(syntheticFlow(flow));
+        settle(0.5);
+    }
+
+    std::uint64_t migrations_before = scheduler->migrations();
+    std::uint64_t swap_ins = 0;
+    test::ScopedRng rng(123);
+    for (int round = 0; round < 12; ++round) {
+        for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+            if (scheduler->location(flow).kind == Location::Kind::dram)
+                ++swap_ins; // giving a DRAM flow work forces a swap-in
+            req_offset[flow] +=
+                50 + static_cast<std::uint32_t>(rng.below(200));
+            scheduler->submitEvent(sendEvent(flow, req_offset[flow]));
+        }
+        settle(40);
+        // Monotone counter: churn only ever adds migrations.
+        EXPECT_GE(scheduler->migrations(), migrations_before);
+        migrations_before = scheduler->migrations();
+    }
+    settle(500);
+
+    // Retry-path termination: after quiescing, nothing may be parked
+    // in MOVING (the 12-cycle pending retry must converge), no event
+    // may be lost, and every flow is exactly somewhere.
+    std::size_t in_fpc = 0, in_dram = 0;
+    for (tcp::FlowId flow = 0; flow < flows; ++flow) {
+        Location loc = scheduler->location(flow);
+        EXPECT_NE(loc.kind, Location::Kind::moving)
+            << "flow " << flow << " stuck mid-migration";
+        tcp::Tcb merged;
+        if (loc.kind == Location::Kind::fpc) {
+            ++in_fpc;
+            merged = fpcs[loc.fpcIndex]->peekMergedTcb(flow);
+        } else {
+            ASSERT_EQ(loc.kind, Location::Kind::dram);
+            ++in_dram;
+            merged = memoryManager->peekMergedTcb(flow);
+        }
+        EXPECT_EQ(merged.req, tcp::FpuProgram::initialSequence(flow) + 1 +
+                                  req_offset[flow])
+            << "flow " << flow;
+    }
+    EXPECT_EQ(in_fpc + in_dram, flows);
+    EXPECT_EQ(fpcs[0]->flowCount() + fpcs[1]->flowCount(), in_fpc);
+    EXPECT_EQ(memoryManager->flowCount(), in_dram);
+
+    // Each DRAM flow given work migrates in (and usually displaces a
+    // resident): the migration counter must at least cover them.
+    EXPECT_GE(scheduler->migrations(), swap_ins);
+
+    // And the invariant-audit layer agrees with all of the above.
+    if constexpr (sim::checksEnabled) {
+        sim.runAudits();
+        EXPECT_GT(sim.auditRuns(), 0u);
+    }
 }
 
 } // namespace

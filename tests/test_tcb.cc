@@ -249,7 +249,6 @@ TEST_P(DeferredEquivalence, AccumulateThenMergeMatchesImmediateApply)
     net::SeqNum oracle_req = stored.req;
     net::SeqNum oracle_user = stored.userRead;
     net::SeqNum oracle_ack = stored.sndUna;
-    net::SeqNum oracle_rcv = stored.rcvNxt;
     std::uint32_t oracle_wnd = stored.sndWnd;
     int oracle_dups = stored.dupAcks;
 
