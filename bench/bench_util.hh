@@ -15,9 +15,16 @@
 #define F4T_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/link.hh"
+#include "net/pcap_writer.hh"
+#include "sim/simulation.hh"
 #include "sim/types.hh"
 
 namespace f4t::bench
@@ -102,6 +109,229 @@ mrps(std::uint64_t count, sim::Tick window)
     double seconds = sim::ticksToSeconds(window);
     return seconds > 0 ? count / seconds / 1e6 : 0.0;
 }
+
+/**
+ * Obs: the shared observability front-end for every figure binary,
+ * example, and the fuzz replayer. Call Obs::install(argc, argv) at the
+ * top of main(); it strips the capture flags below from argv (so
+ * binaries with strict parsers never see them) and hooks simulation
+ * and link construction so capture needs no per-binary wiring:
+ *
+ *   --trace=SPEC            per-module text tracepoints (glob over flag
+ *                           names, '-' negates: "fpc,sched*,-timer")
+ *   --pcap=PATH             one .pcap (+ .index sidecar) per Link
+ *   --timeline=PATH         Chrome trace-event JSON per Simulation
+ *   --stat-sample=PATH[@US] stat time-series CSV per Simulation,
+ *                           sampled every US microseconds (default 100)
+ *   --stat-select=GLOB      which stats the CSV columns cover ("*")
+ *   --stats-json=PATH       end-of-run StatRegistry JSON per Simulation
+ *
+ * Binaries that build several simulations or links get index-suffixed
+ * files: timeline.json, timeline.1.json, ... in construction order.
+ */
+class Obs
+{
+  public:
+    static Obs &
+    instance()
+    {
+        static Obs obs;
+        return obs;
+    }
+
+    /** Strip capture flags from argv and install the observers. */
+    static void
+    install(int &argc, char **argv)
+    {
+        instance().parseArgs(argc, argv);
+    }
+
+    /** Programmatic capture with a common file prefix (fuzz replay). */
+    static void
+    capturePrefix(const std::string &prefix)
+    {
+        Obs &obs = instance();
+        obs.pcapPath_ = prefix + ".pcap";
+        obs.timelinePath_ = prefix + ".timeline.json";
+        obs.statCsvPath_ = prefix + ".stats.csv";
+        obs.statsJsonPath_ = prefix + ".stats.json";
+        obs.installObservers();
+    }
+
+    /** Add a derived column (e.g. cwnd) to a simulation's sampler.
+     *  No-op unless --stat-sample/--stats-json enabled sampling. */
+    static void
+    probe(sim::Simulation &sim, std::string column,
+          std::function<double()> fn)
+    {
+        for (auto &rec : instance().sims_) {
+            if (rec->sim == &sim && rec->sampler) {
+                rec->sampler->addProbe(std::move(column), std::move(fn));
+                return;
+            }
+        }
+    }
+
+    /** True when any capture sink was requested. */
+    static bool
+    active()
+    {
+        return instance().installed_;
+    }
+
+  private:
+    struct SimRec
+    {
+        sim::Simulation *sim = nullptr;
+        std::string timelinePath;
+        std::unique_ptr<sim::trace::TraceEventSink> timeline;
+        std::unique_ptr<sim::trace::StatSampler> sampler;
+    };
+
+    void
+    parseArgs(int &argc, char **argv)
+    {
+        auto value_of = [](const char *arg,
+                           const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+        };
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const char *v;
+            if ((v = value_of(argv[i], "--trace="))) {
+                sim::trace::setFlags(v);
+            } else if ((v = value_of(argv[i], "--pcap="))) {
+                pcapPath_ = v;
+            } else if ((v = value_of(argv[i], "--timeline="))) {
+                timelinePath_ = v;
+            } else if ((v = value_of(argv[i], "--stat-sample="))) {
+                statCsvPath_ = v;
+                if (auto at = statCsvPath_.rfind('@');
+                    at != std::string::npos) {
+                    statIntervalUs_ =
+                        std::strtod(statCsvPath_.c_str() + at + 1, nullptr);
+                    statCsvPath_.resize(at);
+                }
+            } else if ((v = value_of(argv[i], "--stat-select="))) {
+                statSelect_ = v;
+            } else if ((v = value_of(argv[i], "--stats-json="))) {
+                statsJsonPath_ = v;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        if (!pcapPath_.empty() || !timelinePath_.empty() ||
+            !statCsvPath_.empty() || !statsJsonPath_.empty()) {
+            installObservers();
+        }
+    }
+
+    void
+    installObservers()
+    {
+        if (installed_)
+            return;
+        installed_ = true;
+        sim::trace::setSimulationObservers(
+            [](sim::Simulation &s) { instance().onSimCreated(s); },
+            [](sim::Simulation &s) { instance().onSimDestroyed(s); });
+        if (!pcapPath_.empty()) {
+            net::Link::setCreationObserver(
+                [](net::Link &link) { instance().onLinkCreated(link); });
+        }
+    }
+
+    void
+    onSimCreated(sim::Simulation &sim)
+    {
+        auto rec = std::make_unique<SimRec>();
+        rec->sim = &sim;
+        std::size_t index = sims_.size();
+        if (!timelinePath_.empty()) {
+            rec->timelinePath = indexedPath(timelinePath_, index);
+            rec->timeline = std::make_unique<sim::trace::TraceEventSink>();
+            sim.setTimeline(rec->timeline.get());
+        }
+        if (!statCsvPath_.empty() || !statsJsonPath_.empty()) {
+            double us = statIntervalUs_ > 0 ? statIntervalUs_ : 100.0;
+            rec->sampler = std::make_unique<sim::trace::StatSampler>(
+                sim, sim::microsecondsToTicks(us));
+            rec->sampler->selectStats(statSelect_);
+            if (!statCsvPath_.empty())
+                rec->sampler->setCsvPath(indexedPath(statCsvPath_, index));
+            if (!statsJsonPath_.empty()) {
+                rec->sampler->setStatsJsonPath(
+                    indexedPath(statsJsonPath_, index));
+            }
+            rec->sampler->start();
+        }
+        sims_.push_back(std::move(rec));
+    }
+
+    void
+    onSimDestroyed(sim::Simulation &sim)
+    {
+        for (auto &rec : sims_) {
+            if (rec->sim != &sim)
+                continue;
+            // The event queue is still alive here (observer fires at the
+            // top of ~Simulation), so the sampler event detaches safely.
+            rec->sampler.reset();
+            if (rec->timeline) {
+                rec->sim->setTimeline(nullptr);
+                if (rec->timeline->writeFile(rec->timelinePath)) {
+                    std::fprintf(stderr, "obs: wrote %s (%zu events)\n",
+                                 rec->timelinePath.c_str(),
+                                 rec->timeline->eventCount());
+                }
+                rec->timeline.reset();
+            }
+            rec->sim = nullptr;
+            return;
+        }
+    }
+
+    void
+    onLinkCreated(net::Link &link)
+    {
+        auto writer = std::make_unique<net::PcapWriter>(
+            indexedPath(pcapPath_, pcaps_.size()));
+        if (writer->ok()) {
+            link.attachPcap(writer.get());
+            std::fprintf(stderr, "obs: capturing %s to %s\n",
+                         link.name().c_str(), writer->path().c_str());
+        }
+        pcaps_.push_back(std::move(writer));
+    }
+
+    /** base.ext -> base.ext, base.1.ext, base.2.ext, ... */
+    static std::string
+    indexedPath(const std::string &base, std::size_t index)
+    {
+        if (index == 0)
+            return base;
+        std::size_t dot = base.rfind('.');
+        std::size_t slash = base.rfind('/');
+        if (dot == std::string::npos ||
+            (slash != std::string::npos && dot < slash)) {
+            return base + "." + std::to_string(index);
+        }
+        return base.substr(0, dot) + "." + std::to_string(index) +
+               base.substr(dot);
+    }
+
+    bool installed_ = false;
+    std::string pcapPath_;
+    std::string timelinePath_;
+    std::string statCsvPath_;
+    std::string statSelect_ = "*";
+    std::string statsJsonPath_;
+    double statIntervalUs_ = 100.0;
+    std::vector<std::unique_ptr<SimRec>> sims_;
+    std::vector<std::unique_ptr<net::PcapWriter>> pcaps_;
+};
 
 } // namespace f4t::bench
 

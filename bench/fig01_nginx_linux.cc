@@ -10,9 +10,10 @@
 #include "nginx_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 1", "Nginx on the Linux TCP stack");

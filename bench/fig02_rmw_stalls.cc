@@ -53,9 +53,10 @@ measureStallingRate()
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 2",

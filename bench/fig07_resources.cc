@@ -10,9 +10,10 @@
 #include "core/resource_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
 
     bench::banner("Figure 7b", "FtEngine resource utilization (U280)");
 

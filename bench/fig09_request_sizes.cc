@@ -73,9 +73,10 @@ run(std::size_t cores, std::size_t request_bytes)
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 9",

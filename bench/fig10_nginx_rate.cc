@@ -8,9 +8,10 @@
 #include "nginx_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 10", "Nginx request rate: F4T vs Linux");

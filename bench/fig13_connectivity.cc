@@ -134,6 +134,7 @@ main(int argc, char **argv)
 {
     using namespace f4t;
     sim::setVerbose(false);
+    bench::Obs::install(argc, argv); // strips capture flags from argv
 
     sim::Config options;
     options.declare("maxFlows", "4096",

@@ -150,9 +150,10 @@ printPair(const char *name, const std::vector<TracePoint> &f4t_trace,
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 14",

@@ -140,9 +140,10 @@ measureBaseline(unsigned latency)
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 15",

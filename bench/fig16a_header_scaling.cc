@@ -57,9 +57,10 @@ measurePerCoreRate()
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Figure 16a",

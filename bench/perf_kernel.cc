@@ -265,6 +265,7 @@ main(int argc, char **argv)
 {
     using namespace f4t;
     sim::setVerbose(false);
+    bench::Obs::install(argc, argv); // strips capture flags from argv
 
     // --smoke: tiny windows so a ctest entry keeps the harness building
     // and running without spending real time. --window-us N for custom

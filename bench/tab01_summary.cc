@@ -9,9 +9,10 @@
 #include "core/engine.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
 
     bench::banner("Table 1", "summary of existing TCP implementations");
 

@@ -70,9 +70,10 @@ exercise()
 } // namespace f4t
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace f4t;
+    bench::Obs::install(argc, argv);
     sim::setVerbose(false);
 
     bench::banner("Table 2", "target situations of F4T's solutions");

@@ -12,9 +12,12 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "apps/http.hh"
 #include "apps/testbed.hh"
+#include "apps/workloads.hh"
+#include "bench_util.hh"
 #include "host/cost_model.hh"
 
 using namespace f4t;
@@ -104,12 +107,76 @@ serveOnF4t()
         core.categoryCycles(tcp::CostCategory::tcpStack) / busy};
 }
 
+/**
+ * --lossy: a single bulk flow over a 10 Gbps / 250 us link with a
+ * deterministic drop schedule (the same instants as fig14_cwnd), long
+ * enough for the congestion window to trace the classic sawtooth.
+ * Pair it with the capture flags, e.g.:
+ *
+ *   http_server --lossy --pcap=http.pcap --timeline=http.json \
+ *               --stat-sample=http_stats.csv@1000
+ *
+ * and the cwnd_segments CSV column reproduces the Fig. 14 curve.
+ */
+int
+runLossyBulk()
+{
+    net::FaultModel faults;
+    for (int ms : {15, 40, 65, 90, 115, 135})
+        faults.dropAtTicks.push_back(sim::millisecondsToTicks(ms));
+    faults.seed = 20230617;
+
+    core::EngineConfig config;
+    config.numFpcs = 1;
+    config.flowsPerFpc = 16;
+    config.maxFlows = 64;
+    // Long link: 250 us propagation so cwnd dynamics are visible.
+    testbed::EnginePairWorld world(1, config, faults, 10e9, {},
+                                   sim::microsecondsToTicks(250));
+
+    // The first active flow on engine A gets ID 0.
+    bench::Obs::probe(world.sim, "cwnd_segments", [&world] {
+        return world.engineA->peekTcb(0).cwnd / 1460.0;
+    });
+
+    auto server_api = world.apiB(0);
+    apps::BulkSinkConfig sink_config;
+    apps::BulkSinkApp sink(server_api, sink_config);
+    sink.start();
+
+    auto client_api = world.apiA(0);
+    apps::BulkSenderConfig sender_config;
+    sender_config.peer = testbed::ipB();
+    sender_config.requestBytes = 8192;
+    apps::BulkSenderApp sender(client_api, sender_config);
+    sender.start();
+
+    std::printf("lossy bulk transfer, 150 ms, drops at "
+                "15/40/65/90/115/135 ms\n");
+    world.sim.runFor(sim::millisecondsToTicks(150));
+
+    tcp::Tcb tcb = world.engineA->peekTcb(0);
+    std::printf("final cwnd: %.1f segments, sender delivered %llu bytes\n",
+                tcb.cwnd / 1460.0,
+                static_cast<unsigned long long>(sender.bytesSent()));
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setVerbose(false);
+    bench::Obs::install(argc, argv);
+
+    bool lossy = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--lossy") == 0)
+            lossy = true;
+    }
+    if (lossy)
+        return runLossyBulk();
 
     std::printf("HTTP serving, one server core, 64 connections\n");
     std::printf("(the same HttpServerApp source runs on both stacks)\n\n");

@@ -33,15 +33,16 @@ namespace f4t::testbed
 inline std::unique_ptr<net::Link>
 makeLink(sim::Simulation &sim, double bandwidth_bps,
          const net::FaultModel &faults,
-         const std::optional<net::FaultModel> &reverse_faults)
+         const std::optional<net::FaultModel> &reverse_faults,
+         sim::Tick propagation_delay = sim::nanosecondsToTicks(500))
 {
     if (reverse_faults) {
         return std::make_unique<net::Link>(
-            sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500),
+            sim, "link", bandwidth_bps, propagation_delay,
             faults, *reverse_faults);
     }
     return std::make_unique<net::Link>(
-        sim, "link", bandwidth_bps, sim::nanosecondsToTicks(500), faults);
+        sim, "link", bandwidth_bps, propagation_delay, faults);
 }
 
 inline net::Ipv4Address
@@ -74,7 +75,8 @@ struct EnginePairWorld
     explicit EnginePairWorld(
         std::size_t cores_per_host = 1, core::EngineConfig base = {},
         const net::FaultModel &faults = {}, double bandwidth_bps = 100e9,
-        const std::optional<net::FaultModel> &reverse_faults = {})
+        const std::optional<net::FaultModel> &reverse_faults = {},
+        sim::Tick propagation_delay = sim::nanosecondsToTicks(500))
     {
         core::EngineConfig config_a = base;
         config_a.ip = ipA();
@@ -87,7 +89,8 @@ struct EnginePairWorld
                                                    config_a);
         engineB = std::make_unique<core::FtEngine>(sim, "engineB",
                                                    config_b);
-        link = makeLink(sim, bandwidth_bps, faults, reverse_faults);
+        link = makeLink(sim, bandwidth_bps, faults, reverse_faults,
+                        propagation_delay);
         link->connect(*engineA, *engineB);
         engineA->setTransmit(
             [this](net::Packet &&pkt) { link->aToB().send(std::move(pkt)); });

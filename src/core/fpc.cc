@@ -115,6 +115,12 @@ Fpc::installTcb(const MigratingTcb &incoming)
     lastInstallCycle_ = curCycle();
     installUsedThisWindow_ = true;
     ++swapIns_;
+    F4T_TRACE_CD(Fpc, clock(), "%s: swap-in flow %u -> slot %zu",
+                 name().c_str(), incoming.tcb.flowId, slot_index);
+    if (auto *tl = sim().timeline())
+        tl->instant(name(), "migration",
+                    "swap-in flow " + std::to_string(incoming.tcb.flowId),
+                    now());
     activate();
 }
 
@@ -262,6 +268,17 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
         anyEventHandled_ = true;
     });
     ++eventsHandled_;
+    F4T_TRACE_CD(Fpc, clock(), "%s: absorb %s flow=%u", name().c_str(),
+                 tcp::toString(event.type), event.flow);
+    // Per-event timeline instants sit on the hottest loop in the
+    // simulator, so they compile out with the tracepoints.
+    if constexpr (sim::trace::compiledIn) {
+        if (auto *tl = sim().timeline())
+            tl->instant(name(), "event",
+                        std::string(tcp::toString(event.type)) + " flow " +
+                            std::to_string(event.flow),
+                        now());
+    }
     std::size_t index = cam_.lookup(event.flow);
     Slot &slot = slots_[index];
     slot.lastActiveCycle = cycle;
@@ -304,6 +321,20 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 
     tcp::FpuActions actions;
     program_.process(job.merged, nowUs(), actions);
+
+    F4T_TRACE_CD(Fpc, clock(), "%s: writeback flow %u slot %zu%s",
+                 name().c_str(), job.flow, job.slotIndex,
+                 slot.evictFlag ? " (evict pending)" : "");
+    if constexpr (sim::trace::compiledIn) {
+        // One span per FPU pass: issue happened fpuLatency_ cycles ago.
+        if (auto *tl = sim().timeline()) {
+            sim::Tick start =
+                clock().cyclesToTicks(job.readyCycle - fpuLatency_);
+            tl->span(name(), "fpu",
+                     "pass flow " + std::to_string(job.flow), start,
+                     now());
+        }
+    }
 
     F4T_IF_CHECKS({
         tcp::checkTcbInvariants(job.merged, name().c_str());
@@ -349,6 +380,11 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         cam_.erase(slot.flow);
         slot = Slot{};
         ++evictions_;
+        F4T_TRACE_CD(Fpc, clock(), "%s: evict flow %u toward DRAM",
+                     name().c_str(), job.flow);
+        if (auto *tl = sim().timeline())
+            tl->instant(name(), "migration",
+                        "evict flow " + std::to_string(job.flow), now());
         if (evictSink_)
             evictSink_(std::move(leaving));
     } else {

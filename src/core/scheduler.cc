@@ -199,11 +199,15 @@ Scheduler::allocateFlow(const MigratingTcb &initial)
     // the memory manager's check logic will swap it in when it has work.
     f4t_assert(memoryManager_ != nullptr,
                "%s: FPCs full and no DRAM attached", name().c_str());
+    F4T_TRACE(Scheduler, "%s: allocate flow %u to DRAM (FPCs full)",
+              name().c_str(), flow);
     loc = Location{Location::Kind::moving, 0};
     MigratingTcb copy = initial;
-    memoryManager_->insertFlow(std::move(copy), [this, flow] {
+    sim::Tick started = now();
+    memoryManager_->insertFlow(std::move(copy), [this, flow, started] {
         lut(flow) = Location{Location::Kind::dram, 0};
         ++migrations_;
+        noteMigrationDone(flow, "alloc->dram", started);
         // Work may have accumulated while the LUT said MOVING.
         memoryManager_->recheckFlow(flow);
     });
@@ -288,6 +292,11 @@ Scheduler::routeEvent(const tcp::TcpEvent &event)
                 }
                 if (idlest && best + 2 < fpc->inputBacklog()) {
                     ++rebalances_;
+                    F4T_TRACE(Scheduler,
+                              "%s: congestion rebalance flow %u "
+                              "fpc%u (backlog %zu) -> fpc%zu (%zu)",
+                              name().c_str(), event.flow, loc.fpcIndex,
+                              fpc->inputBacklog(), *idlest, best);
                     startEviction(event.flow, /*to_dram=*/false,
                                   static_cast<std::uint8_t>(*idlest));
                 }
@@ -325,6 +334,10 @@ Scheduler::startEviction(tcp::FlowId flow, bool to_dram,
     MoveState state;
     state.toDram = to_dram;
     state.destFpc = dest_fpc;
+    state.startedAt = now();
+    F4T_TRACE(Scheduler, "%s: start eviction of flow %u from fpc%u -> %s",
+              name().c_str(), flow, loc.fpcIndex,
+              to_dram ? "dram" : "fpc");
     moving_.emplace(flow, state);
     loc = Location{Location::Kind::moving, 0};
     source->requestEvict(flow);
@@ -339,11 +352,14 @@ Scheduler::onEvicted(MigratingTcb &&leaving)
                "FPC evicted flow %u without a scheduler request", flow);
 
     if (it->second.toDram) {
-        memoryManager_->insertFlow(std::move(leaving), [this, flow] {
+        sim::Tick started = it->second.startedAt;
+        memoryManager_->insertFlow(
+            std::move(leaving), [this, flow, started] {
             // Evict-complete signal: the LUT points at DRAM now.
             moving_.erase(flow);
             lut(flow) = Location{Location::Kind::dram, 0};
             ++migrations_;
+            noteMigrationDone(flow, "fpc->dram", started);
             memoryManager_->recheckFlow(flow);
             activate();
         });
@@ -379,6 +395,9 @@ Scheduler::requestSwapIn(tcp::FlowId flow)
     state.toDram = false;
     state.destFpc = dest;
     state.extractPending = true;
+    state.startedAt = now();
+    F4T_TRACE(Scheduler, "%s: swap-in flow %u from DRAM -> fpc%u",
+              name().c_str(), flow, dest);
     moving_.emplace(flow, state);
     loc = Location{Location::Kind::moving, 0};
 
@@ -400,6 +419,21 @@ Scheduler::makeRoom(std::size_t fpc_index)
     if (moving_.count(*victim))
         return;
     startEviction(*victim, /*to_dram=*/true, 0);
+}
+
+void
+Scheduler::noteMigrationDone(tcp::FlowId flow, const char *kind,
+                             sim::Tick started_at)
+{
+    F4T_TRACE(Scheduler, "%s: migration %s of flow %u complete (%llu ns)",
+              name().c_str(), kind, flow,
+              static_cast<unsigned long long>((now() - started_at) /
+                                              sim::nanosecondsToTicks(1)));
+    if (auto *tl = sim().timeline())
+        tl->span(name(), "migration",
+                 std::string("migrate ") + kind + " flow " +
+                     std::to_string(flow),
+                 started_at, now());
 }
 
 void
@@ -436,8 +470,10 @@ Scheduler::progressInstalls()
         }
         dest->installTcb(*it->second.inTransit);
         lut(flow) = Location{Location::Kind::fpc, it->second.destFpc};
+        sim::Tick started = it->second.startedAt;
         moving_.erase(it);
         ++migrations_;
+        noteMigrationDone(flow, "->fpc", started);
         installReady_.erase(installReady_.begin() +
                             static_cast<std::ptrdiff_t>(i));
     }

@@ -129,6 +129,8 @@ class Scheduler : public sim::ClockedObject
         std::optional<MigratingTcb> inTransit;
         /** A DRAM extract has been issued and is in flight. */
         bool extractPending = false;
+        /** When the migration began (timeline span start). */
+        sim::Tick startedAt = 0;
     };
 
     struct PendingEntry
@@ -161,6 +163,10 @@ class Scheduler : public sim::ClockedObject
 
     /** Ensure space in @p fpc by evicting its coldest flow to DRAM. */
     void makeRoom(std::size_t fpc_index);
+
+    /** Trace + timeline span for a migration that just completed. */
+    void noteMigrationDone(tcp::FlowId flow, const char *kind,
+                           sim::Tick started_at);
 
     SchedulerConfig config_;
     std::vector<Fpc *> fpcs_;

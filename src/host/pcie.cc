@@ -27,6 +27,18 @@ PcieModel::transfer(std::size_t bytes, sim::Tick &busy_until,
     sim::Tick start = busy_until > now() ? busy_until : now();
     busy_until = start + sim::secondsToTicks(seconds);
     sim::Tick done = busy_until + config_.dmaLatency;
+    F4T_TRACE(Pcie, "%s: %s DMA %zuB [%llu..%llu]", name().c_str(), what,
+              bytes, static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(done));
+    // The whole transaction is known at issue time, so the span can be
+    // emitted up front. Hot under bulk transfers; compiled out with the
+    // tracepoints.
+    if constexpr (sim::trace::compiledIn) {
+        if (auto *tl = sim().timeline())
+            tl->span(name(), "dma",
+                     std::string(what) + " " + std::to_string(bytes) + "B",
+                     start, done);
+    }
     if (on_complete)
         queue().scheduleCallback(done, what, std::move(on_complete));
     return done;
@@ -50,6 +62,11 @@ sim::Tick
 PcieModel::mmioDoorbell(sim::SmallFunction on_observed)
 {
     sim::Tick done = now() + config_.mmioLatency;
+    F4T_TRACE(Pcie, "%s: MMIO doorbell", name().c_str());
+    if constexpr (sim::trace::compiledIn) {
+        if (auto *tl = sim().timeline())
+            tl->instant(name(), "mmio", "doorbell", now());
+    }
     if (on_observed)
         queue().scheduleCallback(done, "pcie.doorbell",
                                  std::move(on_observed));

@@ -1,7 +1,21 @@
 #include "link.hh"
 
+#include "net/pcap_writer.hh"
+#include "sim/trace.hh"
+
 namespace f4t::net
 {
+
+namespace
+{
+std::function<void(Link &)> linkObserver;
+}
+
+void
+Link::setCreationObserver(std::function<void(Link &)> observer)
+{
+    linkObserver = std::move(observer);
+}
 
 LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
                              double bandwidth_bits_per_sec,
@@ -30,9 +44,15 @@ LinkDirection::send(Packet &&pkt)
 {
     if (tap_)
         tap_(pkt);
+    // Capture before fault injection: the pcap shows what the sender
+    // put on the wire, the sidecar notes what the cable did to it.
+    std::size_t pcap_record = 0;
+    if (pcap_ != nullptr)
+        pcap_record = pcap_->record(now(), pkt, pcapLabel_);
     ++packetsSent_;
     std::size_t wire_bytes = pkt.wireBytes();
     bytesSent_ += wire_bytes;
+    F4T_TRACE(Link, "%s: send %zuB wire", name().c_str(), wire_bytes);
 
     // Serialization: the transmitter is busy for the wire time of this
     // packet starting at max(now, busyUntil).
@@ -47,17 +67,29 @@ LinkDirection::send(Packet &&pkt)
         now() >= faults_.dropAtTicks[nextScheduledDrop_]) {
         ++nextScheduledDrop_;
         ++packetsDropped_;
+        F4T_TRACE(Link, "%s: scheduled drop", name().c_str());
+        if (pcap_ != nullptr)
+            pcap_->annotate(pcap_record, "drop(scheduled)");
+        noteFault("drop(scheduled)");
         return arrival;
     }
 
     if (faults_.dropProbability > 0 && rng_.chance(faults_.dropProbability)) {
         ++packetsDropped_;
+        F4T_TRACE(Link, "%s: random drop", name().c_str());
+        if (pcap_ != nullptr)
+            pcap_->annotate(pcap_record, "drop");
+        noteFault("drop");
         return arrival;
     }
 
     if (faults_.duplicateProbability > 0 &&
         rng_.chance(faults_.duplicateProbability)) {
         ++packetsDuplicated_;
+        F4T_TRACE(Link, "%s: duplicate", name().c_str());
+        if (pcap_ != nullptr)
+            pcap_->annotate(pcap_record, "duplicate");
+        noteFault("duplicate");
         Packet copy = pkt;
         deliver(std::move(copy), arrival + sim::nanosecondsToTicks(100));
     }
@@ -65,11 +97,27 @@ LinkDirection::send(Packet &&pkt)
     if (faults_.reorderProbability > 0 &&
         rng_.chance(faults_.reorderProbability)) {
         ++packetsReordered_;
-        arrival += rng_.below(faults_.reorderMaxDelay + 1);
+        sim::Tick extra = rng_.below(faults_.reorderMaxDelay + 1);
+        F4T_TRACE(Link, "%s: reorder +%lluns", name().c_str(),
+                  static_cast<unsigned long long>(
+                      extra / sim::nanosecondsToTicks(1)));
+        if (pcap_ != nullptr)
+            pcap_->annotate(pcap_record,
+                            "reorder+" + std::to_string(extra) + "ps");
+        noteFault("reorder");
+        arrival += extra;
     }
 
     deliver(std::move(pkt), arrival);
     return arrival;
+}
+
+/** Timeline instant for an injected fault (cold path by construction). */
+void
+LinkDirection::noteFault(const char *kind)
+{
+    if (auto *tl = sim().timeline())
+        tl->instant(name(), "fault", kind, now());
 }
 
 void
@@ -104,7 +152,10 @@ Link::Link(sim::Simulation &sim, std::string name,
             propagation_delay, faults_a_to_b),
       bToA_(sim, this->name() + ".bToA", bandwidth_bits_per_sec,
             propagation_delay, faults_b_to_a)
-{}
+{
+    if (linkObserver)
+        linkObserver(*this);
+}
 
 void
 Link::connect(PacketSink &endpoint_a, PacketSink &endpoint_b)

@@ -28,6 +28,8 @@
 namespace f4t::net
 {
 
+class PcapWriter;
+
 /** Anything that can accept a packet from a link. */
 class PacketSink
 {
@@ -78,6 +80,19 @@ class LinkDirection : public sim::SimObject
     using Tap = std::function<void(Packet &)>;
     void setTap(Tap tap) { tap_ = std::move(tap); }
 
+    /**
+     * Attach a pcap capture (see net/pcap_writer.hh). Every accepted
+     * frame is recorded before fault injection; drop/duplicate/reorder
+     * decisions are annotated in the writer's sidecar index. The
+     * writer is not owned and must outlive traffic on this direction.
+     */
+    void
+    attachPcap(PcapWriter *writer, const char *label)
+    {
+        pcap_ = writer;
+        pcapLabel_ = label;
+    }
+
     /** Queue a packet for transmission; returns the delivery tick. */
     sim::Tick send(Packet &&pkt);
 
@@ -89,9 +104,12 @@ class LinkDirection : public sim::SimObject
 
   private:
     void deliver(Packet &&pkt, sim::Tick when);
+    void noteFault(const char *kind);
 
     PacketSink *sink_ = nullptr;
     Tap tap_;
+    PcapWriter *pcap_ = nullptr;
+    const char *pcapLabel_ = "";
     double bandwidth_;
     sim::Tick propagationDelay_;
     sim::Tick busyUntil_ = 0;
@@ -129,6 +147,21 @@ class Link : public sim::SimObject
     LinkDirection &aToB() { return aToB_; }
     /** Direction used by endpoint B to reach endpoint A. */
     LinkDirection &bToA() { return bToA_; }
+
+    /** Capture both directions into one pcap file (interleaved). */
+    void
+    attachPcap(PcapWriter *writer)
+    {
+        aToB_.attachPcap(writer, "a->b");
+        bToA_.attachPcap(writer, "b->a");
+    }
+
+    /**
+     * Process-wide hook observing Link construction, so a CLI layer
+     * (bench::Obs) can attach pcap writers to every link a binary
+     * creates without per-bench plumbing. Empty to uninstall.
+     */
+    static void setCreationObserver(std::function<void(Link &)> observer);
 
   private:
     LinkDirection aToB_;

@@ -1,0 +1,119 @@
+#include "pcap_writer.hh"
+
+#include <cstdint>
+
+#include "net/packet.hh"
+#include "sim/logging.hh"
+
+namespace f4t::net
+{
+
+namespace
+{
+
+/* Classic libpcap global header (24 bytes, host-endian per the format:
+ * readers detect byte order from the magic). */
+struct PcapFileHeader
+{
+    std::uint32_t magic = 0xa1b2c3d4; ///< microsecond-timestamp magic
+    std::uint16_t versionMajor = 2;
+    std::uint16_t versionMinor = 4;
+    std::int32_t thisZone = 0;
+    std::uint32_t sigfigs = 0;
+    std::uint32_t snaplen = 65535;
+    std::uint32_t network = 1; ///< LINKTYPE_ETHERNET
+};
+
+struct PcapRecordHeader
+{
+    std::uint32_t tsSec;
+    std::uint32_t tsUsec;
+    std::uint32_t inclLen;
+    std::uint32_t origLen;
+};
+
+static_assert(sizeof(PcapFileHeader) == 24, "pcap global header is 24 B");
+static_assert(sizeof(PcapRecordHeader) == 16, "pcap record header is 16 B");
+
+} // namespace
+
+PcapWriter::PcapWriter(std::string path) : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr) {
+        f4t_warn("pcap: cannot open '%s' for writing", path_.c_str());
+        return;
+    }
+    PcapFileHeader header;
+    std::fwrite(&header, sizeof header, 1, file_);
+}
+
+PcapWriter::~PcapWriter()
+{
+    if (file_ != nullptr) {
+        flush();
+        std::fclose(file_);
+    }
+}
+
+std::size_t
+PcapWriter::record(sim::Tick at, const Packet &pkt, const char *direction)
+{
+    std::size_t index = entries_.size();
+    std::vector<std::uint8_t> bytes = pkt.serialize();
+    entries_.push_back(Entry{at, direction, bytes.size(), {}});
+    if (file_ == nullptr)
+        return index;
+
+    constexpr sim::Tick ticksPerUsec = sim::ticksPerSecond / 1'000'000;
+    PcapRecordHeader header;
+    header.tsSec = static_cast<std::uint32_t>(at / sim::ticksPerSecond);
+    header.tsUsec = static_cast<std::uint32_t>(
+        (at % sim::ticksPerSecond) / ticksPerUsec);
+    header.inclLen = static_cast<std::uint32_t>(bytes.size());
+    header.origLen = static_cast<std::uint32_t>(bytes.size());
+    std::fwrite(&header, sizeof header, 1, file_);
+    std::fwrite(bytes.data(), 1, bytes.size(), file_);
+    return index;
+}
+
+void
+PcapWriter::annotate(std::size_t index, const std::string &note)
+{
+    if (index >= entries_.size())
+        return;
+    std::string &notes = entries_[index].notes;
+    if (!notes.empty())
+        notes += ',';
+    notes += note;
+}
+
+void
+PcapWriter::flush()
+{
+    if (file_ != nullptr)
+        std::fflush(file_);
+    writeSidecar();
+}
+
+void
+PcapWriter::writeSidecar() const
+{
+    if (entries_.empty())
+        return;
+    std::string sidecar_path = path_ + ".index";
+    std::FILE *sidecar = std::fopen(sidecar_path.c_str(), "w");
+    if (sidecar == nullptr)
+        return;
+    std::fprintf(sidecar, "# record tick_ps direction frame_bytes notes\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        std::fprintf(sidecar, "%zu %llu %s %zu %s\n", i,
+                     static_cast<unsigned long long>(e.at),
+                     e.direction.c_str(), e.bytes,
+                     e.notes.empty() ? "-" : e.notes.c_str());
+    }
+    std::fclose(sidecar);
+}
+
+} // namespace f4t::net

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Standards-compliant pcap capture of simulated link traffic.
+ *
+ * PcapWriter emits the classic libpcap file format — global header
+ * magic 0xa1b2c3d4 (microsecond timestamps), version 2.4, LINKTYPE_
+ * ETHERNET — so a capture taken from any simulated link opens directly
+ * in Wireshark/tshark/tcpdump. Frames are serialized with
+ * Packet::serialize() (exact wire bytes, Ethernet onward) and stamped
+ * by splitting the simulation tick (1 ps) into seconds/microseconds.
+ *
+ * The pcap format itself cannot express simulator-only facts — that a
+ * frame was *captured but then dropped* by fault injection, duplicated,
+ * or delayed for reordering — so the writer keeps a sidecar index
+ * ("<path>.index", one text line per record) and Link annotates the
+ * affected records. Capture happens in LinkDirection::send() *before*
+ * fault injection, so the .pcap shows what the sender put on the wire
+ * and the sidecar says what the cable did to it.
+ */
+
+#ifndef F4T_NET_PCAP_WRITER_HH
+#define F4T_NET_PCAP_WRITER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace f4t::net
+{
+
+struct Packet;
+
+class PcapWriter
+{
+  public:
+    /** Opens @p path and writes the global header; warns on failure. */
+    explicit PcapWriter(std::string path);
+    ~PcapWriter();
+
+    PcapWriter(const PcapWriter &) = delete;
+    PcapWriter &operator=(const PcapWriter &) = delete;
+
+    bool ok() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one frame captured at @p at on direction @p direction
+     * ("a->b" / "b->a"). @return the record index, for annotate().
+     */
+    std::size_t record(sim::Tick at, const Packet &pkt,
+                       const char *direction);
+
+    /** Attach a note ("drop", "duplicate", ...) to a prior record. */
+    void annotate(std::size_t index, const std::string &note);
+
+    std::size_t records() const { return entries_.size(); }
+
+    /** Flush the pcap stream and (re)write the sidecar index. */
+    void flush();
+
+  private:
+    void writeSidecar() const;
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+
+    struct Entry
+    {
+        sim::Tick at;
+        std::string direction;
+        std::size_t bytes;
+        std::string notes;
+    };
+    std::vector<Entry> entries_;
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_PCAP_WRITER_HH

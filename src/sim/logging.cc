@@ -10,8 +10,21 @@ namespace f4t::sim
 
 namespace
 {
+
 bool verboseFlag = true;
-}
+
+struct SimHook
+{
+    const void *owner;
+    detail::TickFn now;
+};
+
+/* Stack, not a single slot: tests and differential harnesses construct
+ * several simulations in one process (sometimes overlapping), and the
+ * innermost live one should stamp the logs. */
+thread_local std::vector<SimHook> simHooks;
+
+} // namespace
 
 void
 setVerbose(bool verbose)
@@ -62,15 +75,48 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+pushCurrentSim(const void *owner, TickFn now_fn)
+{
+    simHooks.push_back(SimHook{owner, now_fn});
+}
+
+void
+popCurrentSim(const void *owner)
+{
+    std::erase_if(simHooks,
+                  [owner](const SimHook &h) { return h.owner == owner; });
+}
+
+bool
+currentSimTick(std::uint64_t &tick_out)
+{
+    if (simHooks.empty())
+        return false;
+    tick_out = simHooks.back().now(simHooks.back().owner);
+    return true;
+}
+
+void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::uint64_t tick;
+    if (currentSimTick(tick))
+        std::fprintf(stderr, "warn: @%llups: %s\n",
+                     static_cast<unsigned long long>(tick), msg.c_str());
+    else
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (!verboseFlag)
+        return;
+    std::uint64_t tick;
+    if (currentSimTick(tick))
+        std::fprintf(stdout, "info: @%llups: %s\n",
+                     static_cast<unsigned long long>(tick), msg.c_str());
+    else
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

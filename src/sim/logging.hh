@@ -13,6 +13,7 @@
 #ifndef F4T_SIM_LOGGING_HH
 #define F4T_SIM_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +31,22 @@ void informImpl(const std::string &msg);
 
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Thread-local current-simulation hook. While a Simulation is alive on
+ * the constructing thread, warn()/inform() prefix messages with its
+ * current tick so interleaved logs are orderable, and the trace layer
+ * (sim/trace.hh) stamps tracepoints without threading a Simulation
+ * reference through every call site. Registrations form a stack: the
+ * most recently constructed Simulation wins, and destroying it exposes
+ * the one below (tests routinely run several simulations in one
+ * process).
+ */
+using TickFn = std::uint64_t (*)(const void *owner);
+void pushCurrentSim(const void *owner, TickFn now_fn);
+void popCurrentSim(const void *owner);
+/** @return true and fill @p tick_out when a simulation is active. */
+bool currentSimTick(std::uint64_t &tick_out);
 
 } // namespace detail
 

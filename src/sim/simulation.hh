@@ -15,6 +15,7 @@
 #include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace f4t::sim
@@ -101,12 +102,40 @@ class Simulation
         : engineClock_("clk250", 250e6, queue_),
           netClock_("clk322", 322e6, queue_),
           hostClock_("clk2g3", 2.3e9, queue_)
-    {}
+    {
+        // While this simulation is the innermost live one on the
+        // thread, warn()/inform() and tracepoints stamp its tick.
+        detail::pushCurrentSim(this, [](const void *s) -> std::uint64_t {
+            return static_cast<const Simulation *>(s)->now();
+        });
+        trace::detail::notifySimulationCreated(*this);
+    }
+
+    ~Simulation()
+    {
+        trace::detail::notifySimulationDestroyed(*this);
+        detail::popCurrentSim(this);
+    }
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
 
     EventQueue &queue() { return queue_; }
     StatRegistry &stats() { return stats_; }
 
     Tick now() const { return queue_.now(); }
+
+    // --- observability (see sim/trace.hh) -----------------------------------
+    /** Timeline sink modules emit spans/instants to; nullptr when off. */
+    trace::TraceEventSink *timeline() { return timeline_; }
+    void setTimeline(trace::TraceEventSink *sink) { timeline_ = sink; }
+
+    /** Runtime trace-flag selection ("Fpc,Sch*"); see sim/trace.hh. */
+    std::size_t
+    setTraceFlags(const std::string &spec)
+    {
+        return trace::setFlags(spec);
+    }
 
     /** 250 MHz FtEngine control-path clock. */
     ClockDomain &engineClock() { return engineClock_; }
@@ -185,6 +214,7 @@ class Simulation
 
     EventQueue queue_;
     StatRegistry stats_;
+    trace::TraceEventSink *timeline_ = nullptr;
     ClockDomain engineClock_;
     ClockDomain netClock_;
     ClockDomain hostClock_;

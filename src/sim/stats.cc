@@ -1,10 +1,51 @@
 #include "stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace f4t::sim
 {
+
+namespace
+{
+
+/** JSON escaping for stat names (dotted names are already clean, but
+ *  dumpJson() must stay valid for any registered name). */
+std::string
+jsonEscapeName(const std::string &s)
+{
+    std::string result;
+    result.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            result += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            result += buf;
+            continue;
+        }
+        result += c;
+    }
+    return result;
+}
+
+/** A double as a JSON number; non-finite values become null. */
+void
+printJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+} // namespace
 
 StatBase::StatBase(StatRegistry &registry, std::string name,
                    std::string description)
@@ -26,9 +67,21 @@ Scalar::print(std::ostream &os) const
 }
 
 void
+Scalar::printJson(std::ostream &os) const
+{
+    printJsonNumber(os, value_);
+}
+
+void
 Counter::print(std::ostream &os) const
 {
     os << name() << " " << value_ << " # " << description();
+}
+
+void
+Counter::printJson(std::ostream &os) const
+{
+    os << value_;
 }
 
 Histogram::Histogram(StatRegistry &registry, std::string name,
@@ -106,6 +159,24 @@ Histogram::print(std::ostream &os) const
        << " # " << description();
 }
 
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"mean\":";
+    printJsonNumber(os, mean());
+    os << ",\"min\":";
+    printJsonNumber(os, min());
+    os << ",\"max\":";
+    printJsonNumber(os, max());
+    os << ",\"p50\":";
+    printJsonNumber(os, percentile(50));
+    os << ",\"p90\":";
+    printJsonNumber(os, percentile(90));
+    os << ",\"p99\":";
+    printJsonNumber(os, percentile(99));
+    os << "}";
+}
+
 StatBase *
 StatRegistry::find(const std::string &name) const
 {
@@ -127,6 +198,19 @@ StatRegistry::dump(std::ostream &os) const
         stat->print(os);
         os << "\n";
     }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    const char *sep = "\n  ";
+    for (const auto &[name, stat] : stats_) {
+        os << sep << "\"" << jsonEscapeName(name) << "\": ";
+        stat->printJson(os);
+        sep = ",\n  ";
+    }
+    os << "\n}\n";
 }
 
 void

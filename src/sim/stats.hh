@@ -46,6 +46,16 @@ class StatBase
     virtual void reset() = 0;
     virtual void print(std::ostream &os) const = 0;
 
+    /** Value as a JSON fragment (number or object), for dumpJson(). */
+    virtual void printJson(std::ostream &os) const = 0;
+
+    /**
+     * Single-number snapshot for time-series sampling (trace.hh's
+     * StatSampler): the value for scalars and counters, the running
+     * mean for histograms.
+     */
+    virtual double sampleValue() const = 0;
+
   private:
     StatRegistry &registry_;
     std::string name_;
@@ -64,6 +74,8 @@ class Scalar : public StatBase
 
     void reset() override { value_ = 0.0; }
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    double sampleValue() const override { return value_; }
 
   private:
     double value_ = 0.0;
@@ -81,6 +93,11 @@ class Counter : public StatBase
 
     void reset() override { value_ = 0; }
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    double sampleValue() const override
+    {
+        return static_cast<double>(value_);
+    }
 
   private:
     std::uint64_t value_ = 0;
@@ -110,6 +127,8 @@ class Histogram : public StatBase
 
     void reset() override;
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    double sampleValue() const override { return mean(); }
 
   private:
     std::size_t cap_;
@@ -139,6 +158,18 @@ class StatRegistry
 
     /** Print all statistics, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /** Machine-readable dump: one JSON object keyed by stat name. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Visit every statistic in name order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[name, stat] : stats_)
+            fn(*stat);
+    }
 
     std::size_t size() const { return stats_.size(); }
 

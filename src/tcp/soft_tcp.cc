@@ -226,7 +226,7 @@ SoftTcpStack::connect(net::Ipv4Address remote_ip, std::uint16_t remote_port)
                                  remote_ip, remote_port};
     conn->peerMac = resolveMac(remote_ip);
     conn->iss = static_cast<SeqNum>((id + 77) * 0x1f3a5c97u);
-    conn->state = ConnState::synSent;
+    setState(*conn, ConnState::synSent);
     conn->sndWnd = config_.mss; // until the peer advertises
 
     connByTuple_[conn->tuple] = id;
@@ -397,7 +397,7 @@ SoftTcpStack::handleListen(const net::Packet &pkt, std::uint16_t port)
     conn->listenPort = port;
     conn->iss = static_cast<SeqNum>((id + 77) * 0x1f3a5c97u);
     conn->irs = tcp.seq;
-    conn->state = ConnState::synRcvd;
+    setState(*conn, ConnState::synRcvd);
     conn->sndWnd = tcp.window;
 
     connByTuple_[conn->tuple] = id;
@@ -425,7 +425,7 @@ SoftTcpStack::handleSegment(Conn &conn, const net::TcpHeader &tcp,
             tcp.ack == conn.iss + 1) {
             conn.irs = tcp.seq;
             conn.sndWnd = tcp.window;
-            conn.state = ConnState::established;
+            setState(conn, ConnState::established);
             finishEstablishment(conn);
             sendAck(conn);
             trySendData(conn);
@@ -436,7 +436,7 @@ SoftTcpStack::handleSegment(Conn &conn, const net::TcpHeader &tcp,
       case ConnState::synRcvd:
         if (tcp.hasFlag(TcpFlags::ack) && tcp.ack == conn.iss + 1) {
             conn.sndWnd = tcp.window;
-            conn.state = ConnState::established;
+            setState(conn, ConnState::established);
             finishEstablishment(conn);
             // Fall through to normal processing of any payload.
         } else if (tcp.hasFlag(TcpFlags::syn)) {
@@ -533,13 +533,13 @@ SoftTcpStack::processAck(Conn &conn, const net::TcpHeader &tcp)
             conn.finAcked = true;
             switch (conn.state) {
               case ConnState::finWait1:
-                conn.state = ConnState::finWait2;
+                setState(conn, ConnState::finWait2);
                 break;
               case ConnState::closing:
                 enterTimeWait(conn);
                 break;
               case ConnState::lastAck:
-                conn.state = ConnState::closed;
+                setState(conn, ConnState::closed);
                 cancelRto(conn);
                 if (callbacks_.onClosed)
                     callbacks_.onClosed(conn.id);
@@ -628,13 +628,13 @@ SoftTcpStack::acceptPayload(Conn &conn, const net::TcpHeader &tcp,
         conn.peerFinDelivered = true;
         switch (conn.state) {
           case ConnState::established:
-            conn.state = ConnState::closeWait;
+            setState(conn, ConnState::closeWait);
             break;
           case ConnState::finWait1:
-            conn.state = conn.finAcked ? ConnState::timeWait
-                                       : ConnState::closing;
-            if (conn.state == ConnState::timeWait)
+            if (conn.finAcked)
                 enterTimeWait(conn);
+            else
+                setState(conn, ConnState::closing);
             break;
           case ConnState::finWait2:
             enterTimeWait(conn);
@@ -717,9 +717,9 @@ SoftTcpStack::maybeSendFin(Conn &conn)
     conn.finOffset = conn.sndNxt;
     conn.finSent = true;
     sendControl(conn, TcpFlags::fin | TcpFlags::ack);
-    conn.state = conn.state == ConnState::established
-                     ? ConnState::finWait1
-                     : ConnState::lastAck;
+    setState(conn, conn.state == ConnState::established
+                       ? ConnState::finWait1
+                       : ConnState::lastAck);
     armRto(conn);
 }
 
@@ -903,7 +903,7 @@ SoftTcpStack::onRtoFire(SoftConnId id, std::uint64_t generation)
 void
 SoftTcpStack::enterTimeWait(Conn &conn)
 {
-    conn.state = ConnState::timeWait;
+    setState(conn, ConnState::timeWait);
     cancelRto(conn);
     SoftConnId id = conn.id;
     std::uint64_t generation = ++conn.twGeneration;
@@ -917,6 +917,20 @@ SoftTcpStack::enterTimeWait(Conn &conn)
                 callbacks_.onClosed(id);
             destroy(id);
         });
+}
+
+void
+SoftTcpStack::setState(Conn &conn, ConnState next)
+{
+    F4T_TRACE(SoftTcp, "%s: conn %u %s -> %s", name().c_str(), conn.id,
+              toString(conn.state), toString(next));
+    if (auto *tl = sim().timeline()) {
+        tl->instant(name(), "conn",
+                    std::string("conn ") + std::to_string(conn.id) + " " +
+                        toString(next),
+                    now());
+    }
+    conn.state = next;
 }
 
 void

@@ -219,6 +219,7 @@ class SoftTcpStack : public sim::SimObject, public net::PacketSink
     void cancelRto(Conn &conn);
     void onRtoFire(SoftConnId id, std::uint64_t generation);
     void enterTimeWait(Conn &conn);
+    void setState(Conn &conn, ConnState next);
     void destroy(SoftConnId id);
     void finishEstablishment(Conn &conn);
     void updateRtt(Conn &conn, std::uint64_t now_us);

@@ -13,12 +13,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.hh"
 #include "fuzz_runner.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace f4t::fuzz;
+    f4t::bench::Obs::install(argc, argv);
 
     std::uint64_t first = 1000;
     std::uint64_t count = 50;
@@ -36,6 +38,17 @@ main(int argc, char **argv)
             std::printf("FAIL seed %llu\n%s\n",
                         static_cast<unsigned long long>(seed),
                         report.c_str());
+            if (!f4t::bench::Obs::active()) {
+                // Replay the failing seed with every capture sink on so
+                // the divergence arrives with pcap/timeline/stat
+                // evidence attached.
+                std::string prefix =
+                    "fuzz_fail_" + std::to_string(seed);
+                std::printf("replaying with capture -> %s.*\n",
+                            prefix.c_str());
+                f4t::bench::Obs::capturePrefix(prefix);
+                runDifferential(seed);
+            }
             return 1;
         }
         std::printf("  seed %llu ok\n",
