@@ -24,11 +24,24 @@
 
 #include "net/link.hh"
 #include "net/pcap_writer.hh"
+#include "obs/run_meta.hh"
 #include "sim/simulation.hh"
 #include "sim/types.hh"
 
 namespace f4t::bench
 {
+
+/**
+ * Stamp a hand-rolled BENCH_*.json writer with the run's identity
+ * (git SHA, build preset, feature gates, wall timestamp) so f4t_report
+ * can refuse apples-to-oranges comparisons. Emits a `"meta": {...}`
+ * member with no trailing comma.
+ */
+inline void
+writeRunMeta(std::FILE *out, int indent)
+{
+    obs::writeMetaJson(out, obs::currentRunMeta(), indent);
+}
 
 /** Print the standard figure banner. */
 inline void

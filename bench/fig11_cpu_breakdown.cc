@@ -7,8 +7,51 @@
  * (vfs_read of the HTML file), which offloading TCP cannot remove.
  */
 
+#include <cstring>
+
 #include "bench_util.hh"
 #include "nginx_common.hh"
+#include "obs/stage_report.hh"
+
+namespace
+{
+
+/**
+ * --spans: the same breakdown idea, but derived from causal-trace span
+ * data instead of CPU cost-category counters — where a request's time
+ * goes stage by stage, split into queueing and service, on an all-F4T
+ * engine pair (both ends instrumented).
+ */
+int
+runSpansMode(const std::string &out_path)
+{
+    using namespace f4t;
+    if (!sim::trace::compiledIn) {
+        std::fprintf(stderr,
+                     "fig11: --spans needs a build with "
+                     "F4T_ENABLE_TRACE=ON (the release preset compiles "
+                     "the tracer out)\n");
+        return 2;
+    }
+    bench::banner("Figure 11 (spans)",
+                  "per-stage time breakdown from causal-trace spans "
+                  "(F4T pair, 64 flows)");
+    bench::TracedNginxRun run = bench::runNginxF4tPairTraced(
+        64, sim::millisecondsToTicks(2), sim::millisecondsToTicks(5));
+    std::printf("request rate: %.2f Mrps (all-F4T pair)\n\n",
+                run.result.requestsPerSecond / 1e6);
+    obs::printStageTable(stdout, *run.tracer);
+    std::printf("\ncritical path of the slowest traced request:\n");
+    obs::printSlowestCriticalPath(stdout, *run.tracer);
+    if (!out_path.empty() &&
+        obs::writeStageJson(out_path, *run.tracer,
+                            obs::currentRunMeta())) {
+        std::printf("\nwrote %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -16,6 +59,17 @@ main(int argc, char **argv)
     using namespace f4t;
     bench::Obs::install(argc, argv);
     sim::setVerbose(false);
+
+    bool spans = false;
+    std::string spans_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--spans") == 0)
+            spans = true;
+        else if (std::strcmp(argv[i], "--spans-out") == 0 && i + 1 < argc)
+            spans_out = argv[++i];
+    }
+    if (spans)
+        return runSpansMode(spans_out);
 
     bench::banner("Figure 11",
                   "Nginx CPU breakdown: Linux vs F4T (1 core, 64 flows)");

@@ -7,8 +7,61 @@
  * (3.7x median, 26x p99 in the paper).
  */
 
+#include <cstring>
+
 #include "bench_util.hh"
 #include "nginx_common.hh"
+#include "obs/stage_report.hh"
+
+namespace
+{
+
+/**
+ * --spans: per-stage latency attribution for the F4T side, from real
+ * causal-trace span data on an all-F4T engine pair. The e2e row is the
+ * histogram the p50/p99 figures derive from: a traced request runs
+ * send() on one host to delivery on the other, so the stage p50s sum
+ * (within queue overlap) to the e2e p50 printed below it.
+ */
+int
+runSpansMode(const std::string &out_path)
+{
+    using namespace f4t;
+    if (!sim::trace::compiledIn) {
+        std::fprintf(stderr,
+                     "fig12: --spans needs a build with "
+                     "F4T_ENABLE_TRACE=ON (the release preset compiles "
+                     "the tracer out)\n");
+        return 2;
+    }
+    bench::banner("Figure 12 (spans)",
+                  "per-stage latency from causal-trace spans "
+                  "(F4T pair, 64 flows)");
+    bench::TracedNginxRun run = bench::runNginxF4tPairTraced(
+        64, sim::millisecondsToTicks(2), sim::millisecondsToTicks(12));
+    obs::printStageTable(stdout, *run.tracer);
+
+    sim::Histogram &e2e = run.tracer->e2e();
+    std::printf(
+        "\ntraced send->deliver latency (histogram-derived): "
+        "p50 %.3f us, p99 %.3f us over %llu requests\n",
+        e2e.percentile(50.0), e2e.percentile(99.0),
+        static_cast<unsigned long long>(e2e.count()));
+    std::printf(
+        "HTTP transaction latency (load-generator view, two traced "
+        "sends + server think time): p50 %.1f us, p99 %.1f us\n",
+        run.result.latencyP50Us, run.result.latencyP99Us);
+    std::printf("\ncritical path of the slowest traced request:\n");
+    obs::printSlowestCriticalPath(stdout, *run.tracer);
+    if (!out_path.empty() &&
+        obs::writeStageJson(out_path, *run.tracer,
+                            obs::currentRunMeta())) {
+        std::printf("\nwrote %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -16,6 +69,17 @@ main(int argc, char **argv)
     using namespace f4t;
     bench::Obs::install(argc, argv);
     sim::setVerbose(false);
+
+    bool spans = false;
+    std::string spans_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--spans") == 0)
+            spans = true;
+        else if (std::strcmp(argv[i], "--spans-out") == 0 && i + 1 < argc)
+            spans_out = argv[++i];
+    }
+    if (spans)
+        return runSpansMode(spans_out);
 
     bench::banner("Figure 12", "Nginx latency: Linux vs F4T (1 core)");
 

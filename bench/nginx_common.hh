@@ -15,6 +15,7 @@
 #include "apps/http.hh"
 #include "apps/testbed.hh"
 #include "host/cost_model.hh"
+#include "sim/causal_trace.hh"
 
 namespace f4t::bench
 {
@@ -249,6 +250,90 @@ runNginxF4t(std::size_t server_cores, std::size_t flows, sim::Tick warmup,
         (totals[0] + totals[1] + totals[2] + totals[3] + totals[4]) /
         window_cycles;
     return result;
+}
+
+/**
+ * One traced Nginx run on an all-F4T engine pair (server on engine A,
+ * load generators on engine B — both sides instrumented, so every
+ * span of every request closes). Used by the --spans modes of
+ * fig11/fig12: the returned struct keeps the world and the
+ * CausalTracer alive so callers can render per-stage breakdowns,
+ * critical paths, and the per-stage latency JSON after the run.
+ *
+ * Members are declared so destruction unwinds apps before the tracer
+ * and the tracer before the simulation it registered with.
+ */
+struct TracedNginxRun
+{
+    std::unique_ptr<testbed::EnginePairWorld> world;
+    std::unique_ptr<sim::ctrace::CausalTracer> tracer;
+    std::unique_ptr<sim::Histogram> latency;
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> serverApis;
+    std::vector<std::unique_ptr<apps::HttpServerApp>> servers;
+    std::vector<std::unique_ptr<apps::SocketApi>> clientApis;
+    std::vector<std::unique_ptr<apps::HttpLoadGenApp>> gens;
+    NginxResult result;
+};
+
+inline TracedNginxRun
+runNginxF4tPairTraced(std::size_t flows, sim::Tick warmup,
+                      sim::Tick window)
+{
+    TracedNginxRun run;
+    core::EngineConfig config;
+    config.numFpcs = 8;
+    config.flowsPerFpc = 128;
+    config.maxFlows = 8192;
+    run.world = std::make_unique<testbed::EnginePairWorld>(8, config);
+    testbed::EnginePairWorld &world = *run.world;
+    run.tracer = std::make_unique<sim::ctrace::CausalTracer>(world.sim);
+
+    run.serverApis.push_back(std::make_unique<apps::F4tSocketApi>(
+        world.sim, *world.runtimeA, 0, world.cpuA->core(0)));
+    run.servers.push_back(std::make_unique<apps::HttpServerApp>(
+        *run.serverApis.back(), nginxServerConfig(false)));
+    run.servers.back()->start();
+
+    // Let the listen command cross PCIe before the first SYN arrives.
+    world.sim.runFor(sim::microsecondsToTicks(20));
+
+    run.latency = std::make_unique<sim::Histogram>(
+        world.sim.stats(), "bench.nginxLatency",
+        "HTTP request latency (us)");
+    run.gens = makeLoadGens(
+        flows, 8, run.latency.get(),
+        [&](std::size_t i) -> std::unique_ptr<apps::SocketApi> {
+            return std::make_unique<apps::F4tSocketApi>(
+                world.sim, *world.runtimeB, i, world.cpuB->core(i));
+        },
+        run.clientApis);
+
+    world.sim.runFor(warmup);
+    // Steady state only: drop warmup samples. Requests in flight keep
+    // their contexts; only the aggregated distributions restart.
+    run.latency->reset();
+    for (std::size_t i = 0; i < sim::ctrace::numStages; ++i) {
+        auto stage = static_cast<sim::ctrace::Stage>(i);
+        run.tracer->stageTotal(stage).reset();
+        run.tracer->stageQueue(stage).reset();
+        run.tracer->stageService(stage).reset();
+    }
+    run.tracer->e2e().reset();
+    std::uint64_t before = 0;
+    for (auto &gen : run.gens)
+        before += gen->responses();
+
+    world.sim.runFor(window);
+
+    std::uint64_t responses = 0;
+    for (auto &gen : run.gens)
+        responses += gen->responses();
+    responses -= before;
+    run.result.requestsPerSecond =
+        responses / sim::ticksToSeconds(window);
+    run.result.latencyP50Us = run.latency->percentile(50);
+    run.result.latencyP99Us = run.latency->percentile(99);
+    return run;
 }
 
 } // namespace f4t::bench

@@ -16,7 +16,9 @@
  * Output: a human-readable summary plus a JSON file (default
  * BENCH_kernel.json) with schema:
  *
- *   { "bench": "kernel", "schema": 1,
+ *   { "bench": "kernel", "schema": 2,
+ *     "meta": { "git_sha", "preset", "trace_enabled", "checks_enabled",
+ *               "timestamp" },   // run identity, see obs/run_meta.hh
  *     "scenarios": [ { "name": ...,
  *                      "wall_seconds": ...,
  *                      "host_events_per_sec": ...,
@@ -230,8 +232,9 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
         std::fprintf(stderr, "perf_kernel: cannot write %s\n", path.c_str());
         return;
     }
-    std::fprintf(out, "{\n  \"bench\": \"kernel\",\n  \"schema\": 1,\n"
-                      "  \"scenarios\": [\n");
+    std::fprintf(out, "{\n  \"bench\": \"kernel\",\n  \"schema\": 2,\n");
+    bench::writeRunMeta(out, 2);
+    std::fprintf(out, ",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult &r = results[i];
         std::fprintf(out,

@@ -13,12 +13,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "apps/http.hh"
 #include "apps/testbed.hh"
 #include "apps/workloads.hh"
 #include "bench_util.hh"
 #include "host/cost_model.hh"
+#include "obs/stage_report.hh"
+#include "sim/causal_trace.hh"
 
 using namespace f4t;
 
@@ -134,6 +137,13 @@ runLossyBulk()
     testbed::EnginePairWorld world(1, config, faults, 10e9, {},
                                    sim::microsecondsToTicks(250));
 
+    // With tracing compiled in, attach a causal tracer: each deliberate
+    // drop forces a retransmission, so the wire stage shows re-entries
+    // and the per-stage table below shows the tail they cause.
+    std::unique_ptr<sim::ctrace::CausalTracer> tracer;
+    if constexpr (sim::trace::compiledIn)
+        tracer = std::make_unique<sim::ctrace::CausalTracer>(world.sim);
+
     // The first active flow on engine A gets ID 0.
     bench::Obs::probe(world.sim, "cwnd_segments", [&world] {
         return world.engineA->peekTcb(0).cwnd / 1460.0;
@@ -159,6 +169,14 @@ runLossyBulk()
     std::printf("final cwnd: %.1f segments, sender delivered %llu bytes\n",
                 tcb.cwnd / 1460.0,
                 static_cast<unsigned long long>(sender.bytesSent()));
+
+    if (tracer) {
+        std::printf("\nper-stage latency from causal-trace spans "
+                    "(drops force wire re-entries):\n");
+        obs::printStageTable(stdout, *tracer);
+        std::printf("\ncritical path of the slowest request:\n");
+        obs::printSlowestCriticalPath(stdout, *tracer);
+    }
     return 0;
 }
 

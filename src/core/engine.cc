@@ -1,5 +1,7 @@
 #include "engine.hh"
 
+#include "sim/causal_trace.hh"
+
 namespace f4t::core
 {
 
@@ -70,6 +72,10 @@ FtEngine::FtEngine(sim::Simulation &sim, std::string name,
         sim, statName("packetGenerator"), sim.netClock(), config_.mss);
     packetGenerator_->setAddressLookup(
         [this](tcp::FlowId flow) { return addressFor(flow); });
+    // The engine pointer is the causal tracer's flow-namespace key: the
+    // same (domain, flow) pair must be used by the library's
+    // beginRequest and the generator's wire-span bookkeeping.
+    packetGenerator_->setTraceDomain(this);
 
     timerWheel_ = std::make_unique<TimerWheel>(sim, statName("timers"));
     timerWheel_->setSink([this](const tcp::TcpEvent &event) {
@@ -135,6 +141,15 @@ FtEngine::receivePacket(net::Packet &&pkt)
 void
 FtEngine::onParsedEvent(const tcp::TcpEvent &event)
 {
+    if constexpr (sim::trace::compiledIn) {
+        if (event.trace.valid()) {
+            if (auto *ct = sim().causalTracer()) {
+                ct->arrivedRx(event.trace, this, event.flow, now());
+                ct->eventQueued(event.trace, now());
+            }
+        }
+    }
+
     // Glue: the first SYN/SYN-ACK tells us the peer's sequence base,
     // which the payload DMA and notification offset conversion need.
     if (event.tcpFlags & net::TcpFlags::syn) {
@@ -310,6 +325,14 @@ FtEngine::handleHostCommand(const host::Command &command, std::size_t queue)
         event.flow = command.flow;
         event.type = tcp::TcpEventType::userSend;
         event.pointer = txStart(command.flow) + command.arg0;
+        event.trace = command.trace;
+        if constexpr (sim::trace::compiledIn) {
+            if (auto *ct = sim().causalTracer();
+                ct && command.trace.valid()) {
+                ct->setWireTarget(command.trace, event.pointer);
+                ct->eventQueued(command.trace, now());
+            }
+        }
         scheduler_->submitEvent(event);
         return;
       }
@@ -381,6 +404,11 @@ FtEngine::dispatchActions(tcp::FlowId flow, tcp::FpuActions &&actions)
           case tcp::HostNotification::Kind::received:
             cmd.op = host::CmdOp::received;
             cmd.arg0 = note.pointer - info.rxStart;
+            if constexpr (sim::trace::compiledIn) {
+                if (auto *ct = sim().causalTracer())
+                    cmd.trace = ct->upcallPosted(this, flow, cmd.arg0,
+                                                 now());
+            }
             break;
           case tcp::HostNotification::Kind::peerClosed:
             cmd.op = host::CmdOp::peerClosed;
@@ -404,6 +432,10 @@ FtEngine::recycleFlow(tcp::FlowId flow)
 {
     FlowInfo &info = flowInfo_[flow];
     if (info.active) {
+        if constexpr (sim::trace::compiledIn) {
+            if (auto *ct = sim().causalTracer())
+                ct->flowAborted(this, flow, now());
+        }
         flowTable_->erase(info.tuple);
         scheduler_->freeFlow(flow);
         rxParser_->dropFlow(flow);

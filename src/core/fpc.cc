@@ -1,5 +1,7 @@
 #include "fpc.hh"
 
+#include "sim/causal_trace.hh"
+
 namespace f4t::core
 {
 
@@ -110,6 +112,9 @@ Fpc::installTcb(const MigratingTcb &incoming)
     slot.evictFlag = false;
     slot.flow = incoming.tcb.flowId;
     slot.lastActiveCycle = curCycle();
+    // Tokens that travelled with the migrating TCB resume here.
+    slot.trace.clear();
+    slot.trace.mergeCopy(incoming.trace);
     tcbTable_.peekMutable(slot_index) = incoming.tcb;
     eventTable_.peekMutable(slot_index) = incoming.events;
     lastInstallCycle_ = curCycle();
@@ -290,6 +295,14 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
     const tcp::Tcb &stored = tcbTable_.read(index);
     if (tcp::accumulateEvent(record, stored, event))
         ++dupAckIncrements_;
+
+    if constexpr (sim::trace::compiledIn) {
+        if (event.trace.valid()) {
+            slot.trace.add(event.trace);
+            if (auto *ct = sim().causalTracer())
+                ct->absorbed(event.trace, now());
+        }
+    }
 }
 
 void
@@ -310,6 +323,16 @@ Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
     job.readyCycle = cycle + fpuLatency_;
     job.slotIndex = index;
     job.flow = slot.flow;
+
+    if constexpr (sim::trace::compiledIn) {
+        job.trace.clear(); // pipe slots are pooled; drop stale tokens
+        job.trace.merge(std::move(slot.trace));
+        if (auto *ct = sim().causalTracer()) {
+            sim::Tick at = now();
+            job.trace.forEach(
+                [&](sim::ctrace::Token t) { ct->execStarted(t, at); });
+        }
+    }
 }
 
 void
@@ -364,6 +387,18 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
     slot.inFpu = false;
     slot.lastActiveCycle = cycle;
 
+    if constexpr (sim::trace::compiledIn) {
+        // The pass merged these requests' events: their fpcExec spans
+        // end here, before the actions fan out to the packet generator
+        // and the host interface.
+        if (auto *ct = sim().causalTracer()) {
+            sim::Tick at = now();
+            job.trace.forEach(
+                [&](sim::ctrace::Token t) { ct->processed(t, at); });
+        }
+        job.trace.clear();
+    }
+
     if (actions.releaseFlow) {
         // Connection finished: recycle the slot.
         eventTable_.peekMutable(job.slotIndex).clear();
@@ -376,6 +411,9 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         MigratingTcb leaving;
         leaving.tcb = job.merged;
         leaving.events = eventTable_.peek(job.slotIndex);
+        // Tokens of events absorbed after the pass started migrate
+        // with their events; their open spans survive the move.
+        leaving.trace.merge(std::move(slot.trace));
         eventTable_.peekMutable(job.slotIndex).clear();
         cam_.erase(slot.flow);
         slot = Slot{};

@@ -47,6 +47,9 @@ struct MigratingTcb
 {
     tcp::Tcb tcb;
     tcp::EventRecord events;
+    /** Causal-trace tokens of requests whose events travel with the
+     *  TCB — spans survive a mid-request connection migration. */
+    [[no_unique_address]] sim::ctrace::TokenSet trace;
 };
 
 /**
@@ -283,6 +286,8 @@ class Fpc : public sim::ClockedObject
         bool evictFlag = false;
         std::uint64_t lastActiveCycle = 0;
         tcp::FlowId flow = tcp::invalidFlowId;
+        /** Tokens of events absorbed but not yet issued to the FPU. */
+        [[no_unique_address]] sim::ctrace::TokenSet trace;
     };
 
     struct FpuJob
@@ -291,6 +296,8 @@ class Fpc : public sim::ClockedObject
         std::size_t slotIndex;
         tcp::FlowId flow;
         tcp::Tcb merged;
+        /** Tokens of the events merged into this pass. */
+        [[no_unique_address]] sim::ctrace::TokenSet trace;
     };
 
     void handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle);

@@ -1,5 +1,7 @@
 #include "host_interface.hh"
 
+#include "sim/causal_trace.hh"
+
 namespace f4t::core
 {
 
@@ -100,12 +102,20 @@ HostInterface::startFetch(std::size_t queue_index)
                             : config_.fetchBatchMax;
     state.fetchInProgress = true;
 
+    sim::Tick fetch_start = now();
     pcie_.hostToDevice(batch * config_.commandBytes,
-                       [this, queue_index, batch] {
+                       [this, queue_index, batch, fetch_start] {
                            QueueState &qs = queues_[queue_index];
                            auto commands = qs.pair->sq.popBatch(batch);
                            commandsFetched_ += commands.size();
                            for (const host::Command &cmd : commands) {
+                               if constexpr (sim::trace::compiledIn) {
+                                   if (cmd.trace.valid()) {
+                                       if (auto *ct = sim().causalTracer())
+                                           ct->fetched(cmd.trace,
+                                                       fetch_start, now());
+                                   }
+                               }
                                if (commandHandler_)
                                    commandHandler_(cmd, queue_index);
                            }
@@ -139,6 +149,15 @@ HostInterface::flushCompletions(std::size_t queue_index)
     std::vector<host::Command> batch;
     batch.swap(state.stagedCompletions);
     completionsPosted_ += batch.size();
+
+    if constexpr (sim::trace::compiledIn) {
+        if (auto *ct = sim().causalTracer()) {
+            for (const host::Command &cmd : batch) {
+                if (cmd.trace.valid())
+                    ct->upcallService(cmd.trace, now());
+            }
+        }
+    }
 
     pcie_.deviceToHost(
         batch.size() * config_.commandBytes,

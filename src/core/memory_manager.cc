@@ -1,9 +1,27 @@
 #include "memory_manager.hh"
 
 #include "core/scheduler.hh"
+#include "sim/causal_trace.hh"
 
 namespace f4t::core
 {
+
+namespace
+{
+
+/** Park an event's causal-trace token with the TCB it merged into, so
+ *  the request's span survives the flow's stay in (or transit through)
+ *  DRAM. */
+void
+carryTrace(MigratingTcb &entry, const tcp::TcpEvent &event)
+{
+    if constexpr (sim::trace::compiledIn) {
+        if (event.trace.valid())
+            entry.trace.add(event.trace);
+    }
+}
+
+} // namespace
 
 MemoryManager::MemoryManager(sim::Simulation &sim, std::string name,
                              sim::ClockDomain &domain,
@@ -128,8 +146,10 @@ MemoryManager::extractFlow(tcp::FlowId flow,
     // Events parked behind an in-flight fetch travel with the TCB so
     // nothing is lost when the flow leaves mid-miss.
     if (auto mq = missQueues_.find(flow); mq != missQueues_.end()) {
-        for (const tcp::TcpEvent &ev : mq->second)
+        for (const tcp::TcpEvent &ev : mq->second) {
             tcp::accumulateEvent(leaving.events, leaving.tcb, ev);
+            carryTrace(leaving, ev);
+        }
         missQueues_.erase(mq);
     }
 
@@ -139,6 +159,7 @@ MemoryManager::extractFlow(tcp::FlowId flow,
     for (auto it2 = inputFifo_.begin(); it2 != inputFifo_.end();) {
         if (it2->flow == flow) {
             tcp::accumulateEvent(leaving.events, leaving.tcb, *it2);
+            carryTrace(leaving, *it2);
             it2 = inputFifo_.erase(it2);
         } else {
             ++it2;
@@ -214,6 +235,7 @@ MemoryManager::applyEvent(const tcp::TcpEvent &event)
     bool hit = cacheAccess(event.flow, /*dirty=*/true, &miss_ready);
     if (hit) {
         tcp::accumulateEvent(entry.events, entry.tcb, event);
+        carryTrace(entry, event);
         checkLogic(event.flow);
         return;
     }
@@ -238,6 +260,7 @@ MemoryManager::applyEvent(const tcp::TcpEvent &event)
         for (const tcp::TcpEvent &ev : events) {
             tcp::accumulateEvent(backing_it->second.events,
                                  backing_it->second.tcb, ev);
+            carryTrace(backing_it->second, ev);
         }
         checkLogic(flow);
     });

@@ -1,5 +1,7 @@
 #include "packet_generator.hh"
 
+#include "sim/causal_trace.hh"
+
 namespace f4t::core
 {
 
@@ -47,6 +49,15 @@ PacketGenerator::requestSegments(const tcp::SegmentRequest &request)
                name().c_str());
     FlowAddress addr = lookup_(request.flow);
 
+    if constexpr (sim::trace::compiledIn) {
+        // Requests whose target byte rides in [seq+1, seq+length] enter
+        // (or re-enter, on retransmission) the wire stage now.
+        if (auto *ct = sim().causalTracer()) {
+            ct->wireQueued(traceDomain_, request.flow, request.seq,
+                           request.seq + request.length, now());
+        }
+    }
+
     std::uint32_t remaining = request.length;
     net::SeqNum seq = request.seq;
     while (remaining > 0) {
@@ -72,6 +83,13 @@ PacketGenerator::requestSegments(const tcp::SegmentRequest &request)
         net::Packet pkt = net::Packet::makeTcp(
             addr.localMac, addr.peerMac, addr.tuple.localIp,
             addr.tuple.remoteIp, tcp, std::move(payload));
+
+        if constexpr (sim::trace::compiledIn) {
+            if (auto *ct = sim().causalTracer()) {
+                pkt.trace = ct->wireToken(traceDomain_, request.flow, seq,
+                                          chunk);
+            }
+        }
 
         ++segments_;
         if (request.retransmission) {

@@ -74,6 +74,7 @@ RxParser::processPacket(const net::Packet &pkt)
     tcp::TcpEvent event;
     event.flow = flow;
     event.type = tcp::TcpEventType::rxSegment;
+    event.trace = pkt.trace;
     event.peerAck = tcp.ack;
     event.peerWnd = tcp.window;
     event.tcpFlags = tcp.flags &

@@ -1,6 +1,7 @@
 #include "link.hh"
 
 #include "net/pcap_writer.hh"
+#include "sim/causal_trace.hh"
 #include "sim/trace.hh"
 
 namespace f4t::net
@@ -62,6 +63,15 @@ LinkDirection::send(Packet &&pkt)
     sim::Tick start = std::max(now(), busyUntil_);
     busyUntil_ = start + tx_time;
     sim::Tick arrival = busyUntil_ + propagationDelay_;
+
+    if constexpr (sim::trace::compiledIn) {
+        // Wire-stage service begins when the transmitter starts
+        // serializing; everything before is head-of-line queueing.
+        if (pkt.trace.valid()) {
+            if (auto *ct = sim().causalTracer())
+                ct->wireService(pkt.trace, start);
+        }
+    }
 
     if (nextScheduledDrop_ < faults_.dropAtTicks.size() &&
         now() >= faults_.dropAtTicks[nextScheduledDrop_]) {

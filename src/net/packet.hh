@@ -26,6 +26,7 @@
 
 #include "net/headers.hh"
 #include "net/payload_buffer.hh"
+#include "sim/trace_token.hh"
 
 namespace f4t::net
 {
@@ -43,6 +44,13 @@ struct Packet
 
     /** TCP or ICMP payload bytes (empty for pure control packets). */
     PayloadBuffer payload;
+
+    /** Causal-trace token of the highest request whose final byte rides
+     *  in this segment. Metadata only: serialize()/parseWire() do not
+     *  carry it (the wire format is unchanged), so a packet that round-
+     *  trips through real bytes loses its token — only the in-memory
+     *  fast path, which every world uses, preserves causality. */
+    [[no_unique_address]] sim::ctrace::Token trace;
 
     bool isTcp() const { return std::holds_alternative<TcpHeader>(l4); }
     bool isIcmp() const { return std::holds_alternative<IcmpMessage>(l4); }

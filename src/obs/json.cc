@@ -1,0 +1,270 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace f4t::obs
+{
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    run(std::string *error)
+    {
+        JsonValue value;
+        if (!parseValue(value)) {
+            fail("invalid value");
+        } else {
+            skipWs();
+            if (pos_ != text_.size())
+                fail("trailing characters after document");
+        }
+        if (!error_.empty()) {
+            if (error) {
+                *error = error_ + " at byte " + std::to_string(errorPos_);
+            }
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    void
+    fail(const char *message)
+    {
+        if (error_.empty()) {
+            error_ = message;
+            errorPos_ = pos_;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.substr(pos_, n) != word)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                // BENCH files are ASCII; decode BMP escapes bytewise
+                // (non-ASCII code points degrade to '?', never parsed
+                // as structure).
+                if (pos_ + 4 > text_.size())
+                    return false;
+                char hex[5] = {text_[pos_], text_[pos_ + 1],
+                               text_[pos_ + 2], text_[pos_ + 3], 0};
+                pos_ += 4;
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(hex, nullptr, 16));
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::string;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::boolean;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::boolean;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *begin = text_.data() + pos_;
+        char *end = nullptr;
+        double value = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        std::size_t len = static_cast<std::size_t>(end - begin);
+        if (pos_ + len > text_.size())
+            return false;
+        pos_ += len;
+        out.kind = JsonValue::Kind::number;
+        out.num = value;
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        consume('[');
+        out.kind = JsonValue::Kind::array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.arr.push_back(std::move(element));
+            if (consume(','))
+                continue;
+            return consume(']');
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        consume('{');
+        out.kind = JsonValue::Kind::object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(value));
+            if (consume(','))
+                continue;
+            return consume('}');
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+    std::size_t errorPos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+std::optional<std::string>
+readFile(const std::string &path, std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+        if (error)
+            *error = "read error on '" + path + "'";
+        return std::nullopt;
+    }
+    return content;
+}
+
+} // namespace f4t::obs

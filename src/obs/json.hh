@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal JSON reader for the observability tooling (f4t_report and
+ * the bench metadata checks). Covers exactly what the BENCH_*.json and
+ * per-stage latency files use: objects, arrays, strings, numbers,
+ * booleans, null — no streaming, no comments, whole document in memory.
+ *
+ * Kept dependency-free on purpose: the container has no JSON library
+ * baked in, and the reporter must stay a standalone binary.
+ */
+
+#ifndef F4T_OBS_JSON_HH
+#define F4T_OBS_JSON_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace f4t::obs
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object
+    };
+
+    Kind kind = Kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Insertion-ordered; BENCH files never repeat keys. */
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isObject() const { return kind == Kind::object; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    double numberOr(double fallback) const
+    {
+        return kind == Kind::number ? num : fallback;
+    }
+    std::string stringOr(std::string fallback) const
+    {
+        return kind == Kind::string ? str : std::move(fallback);
+    }
+    bool boolOr(bool fallback) const
+    {
+        return kind == Kind::boolean ? b : fallback;
+    }
+};
+
+/**
+ * Parse a complete JSON document. On failure returns std::nullopt and,
+ * when @p error is non-null, a one-line description with the byte
+ * offset of the problem.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+/** Read a whole file; std::nullopt (+error) when unreadable. */
+std::optional<std::string> readFile(const std::string &path,
+                                    std::string *error = nullptr);
+
+} // namespace f4t::obs
+
+#endif // F4T_OBS_JSON_HH

@@ -1,0 +1,262 @@
+#include "obs/regression.hh"
+
+#include "obs/json.hh"
+
+#include <cmath>
+
+namespace f4t::obs
+{
+
+bool
+metricDirection(std::string_view name, bool *higher_better)
+{
+    // Bookkeeping values that *look* directional but duplicate another
+    // metric (wall_seconds is 1/events_per_sec) or are too noisy to
+    // gate on (a distribution's max is a single worst sample).
+    if (name.find("wall_seconds") != std::string_view::npos ||
+        name.find("max_us") != std::string_view::npos)
+        return false;
+
+    static constexpr std::string_view higher[] = {
+        "per_sec", "per_wall", "rate", "gbps", "mbps", "mrps",
+        "throughput", "ops",
+    };
+    static constexpr std::string_view lower[] = {
+        "_us", "us_", "_ns", "latency", "seconds", "_time", "wall",
+    };
+    for (std::string_view h : higher) {
+        if (name.find(h) != std::string_view::npos) {
+            *higher_better = true;
+            return true;
+        }
+    }
+    for (std::string_view l : lower) {
+        if (name.find(l) != std::string_view::npos) {
+            *higher_better = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+collectMetrics(const JsonValue &object, const std::string &prefix,
+               std::vector<Metric> &out)
+{
+    for (const auto &[key, value] : object.obj) {
+        std::string full = prefix.empty() ? key : prefix + "." + key;
+        if (value.isNumber()) {
+            bool higher = true;
+            if (metricDirection(full, &higher))
+                out.push_back({full, value.num, higher});
+        } else if (value.isObject()) {
+            collectMetrics(value, full, out);
+        }
+    }
+}
+
+ScenarioResult
+normalizeScenario(const JsonValue &scenario, std::string fallback_name)
+{
+    ScenarioResult result;
+    result.name = std::move(fallback_name);
+    if (const JsonValue *n = scenario.find("name"))
+        result.name = n->stringOr(result.name);
+    if (const JsonValue *fp = scenario.find("fingerprint"))
+        result.fingerprint = fp->stringOr("");
+    collectMetrics(scenario, "", result.metrics);
+    return result;
+}
+
+} // namespace
+
+std::optional<ReportDoc>
+loadReportDoc(const std::string &path, std::string *error)
+{
+    std::optional<std::string> text = readFile(path, error);
+    if (!text)
+        return std::nullopt;
+    std::optional<JsonValue> doc = parseJson(*text, error);
+    if (!doc) {
+        if (error)
+            *error = path + ": " + *error;
+        return std::nullopt;
+    }
+    if (!doc->isObject()) {
+        if (error)
+            *error = path + ": top-level value is not an object";
+        return std::nullopt;
+    }
+
+    ReportDoc out;
+    out.path = path;
+    if (const JsonValue *meta = doc->find("meta"))
+        out.meta = parseRunMeta(*meta);
+
+    if (const JsonValue *kind = doc->find("kind"))
+        out.kind = kind->stringOr("");
+    else if (const JsonValue *bench = doc->find("bench"))
+        out.kind = bench->stringOr("");
+    if (out.kind.empty()) {
+        if (error)
+            *error = path + ": neither \"bench\" nor \"kind\" present — "
+                            "not a benchmark results file";
+        return std::nullopt;
+    }
+
+    if (out.kind == "stage_latency") {
+        if (const JsonValue *stages = doc->find("stages");
+            stages && stages->isArray()) {
+            for (const JsonValue &stage : stages->arr) {
+                ScenarioResult s = normalizeScenario(stage, "stage");
+                s.name = "stage:" + s.name;
+                out.scenarios.push_back(std::move(s));
+            }
+        }
+        if (const JsonValue *e2e = doc->find("e2e"); e2e && e2e->isObject())
+            out.scenarios.push_back(normalizeScenario(*e2e, "e2e"));
+        return out;
+    }
+
+    const JsonValue *scenarios = doc->find("scenarios");
+    if (!scenarios || !scenarios->isArray()) {
+        if (error)
+            *error = path + ": no \"scenarios\" array";
+        return std::nullopt;
+    }
+    for (std::size_t i = 0; i < scenarios->arr.size(); ++i) {
+        out.scenarios.push_back(normalizeScenario(
+            scenarios->arr[i], "scenario" + std::to_string(i)));
+    }
+    return out;
+}
+
+RegressionReport
+compareDocs(const ReportDoc &baseline, const ReportDoc &candidate,
+            double noise_band)
+{
+    RegressionReport report;
+
+    for (const ScenarioResult &base : baseline.scenarios) {
+        const ScenarioResult *cand = nullptr;
+        for (const ScenarioResult &c : candidate.scenarios) {
+            if (c.name == base.name) {
+                cand = &c;
+                break;
+            }
+        }
+        if (!cand) {
+            report.notes.push_back("scenario '" + base.name +
+                                   "' missing from " + candidate.path);
+            continue;
+        }
+        if (!base.fingerprint.empty() && !cand->fingerprint.empty() &&
+            base.fingerprint != cand->fingerprint) {
+            report.notes.push_back(
+                "scenario '" + base.name + "' fingerprint changed (" +
+                base.fingerprint + " -> " + cand->fingerprint +
+                "): simulated behaviour differs, wall-clock deltas may "
+                "reflect workload change");
+        }
+
+        for (const Metric &m : base.metrics) {
+            const Metric *cm = nullptr;
+            for (const Metric &c : cand->metrics) {
+                if (c.name == m.name) {
+                    cm = &c;
+                    break;
+                }
+            }
+            if (!cm) {
+                report.notes.push_back("metric '" + base.name + "/" +
+                                       m.name + "' missing from " +
+                                       candidate.path);
+                continue;
+            }
+            if (m.value == 0.0) {
+                if (cm->value != 0.0) {
+                    report.notes.push_back(
+                        "metric '" + base.name + "/" + m.name +
+                        "' baseline is zero; cannot compute a delta");
+                }
+                continue;
+            }
+            Comparison cmp;
+            cmp.scenario = base.name;
+            cmp.metric = m.name;
+            cmp.baseline = m.value;
+            cmp.candidate = cm->value;
+            double delta = (cm->value - m.value) / std::fabs(m.value);
+            cmp.deltaPct = delta * 100.0;
+            bool worse = m.higherBetter ? delta < -noise_band
+                                        : delta > noise_band;
+            bool better = m.higherBetter ? delta > noise_band
+                                         : delta < -noise_band;
+            cmp.verdict = worse ? Verdict::regressed
+                                : better ? Verdict::improved
+                                         : Verdict::pass;
+            if (worse)
+                report.anyRegression = true;
+            report.comparisons.push_back(std::move(cmp));
+        }
+    }
+
+    for (const ScenarioResult &c : candidate.scenarios) {
+        bool found = false;
+        for (const ScenarioResult &base : baseline.scenarios) {
+            if (base.name == c.name) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            report.notes.push_back("scenario '" + c.name +
+                                   "' is new in " + candidate.path);
+        }
+    }
+    return report;
+}
+
+void
+printReport(std::FILE *out, const ReportDoc &baseline,
+            const ReportDoc &candidate, const RegressionReport &report,
+            double noise_band)
+{
+    std::fprintf(out, "== %s: %s -> %s (noise band +/-%.0f%%) ==\n",
+                 baseline.kind.c_str(), baseline.path.c_str(),
+                 candidate.path.c_str(), noise_band * 100.0);
+    std::fprintf(out, "  baseline:  %s @ %s (%s)\n",
+                 baseline.meta.preset.c_str(),
+                 baseline.meta.gitSha.c_str(),
+                 baseline.meta.timestamp.empty()
+                     ? "no timestamp"
+                     : baseline.meta.timestamp.c_str());
+    std::fprintf(out, "  candidate: %s @ %s (%s)\n",
+                 candidate.meta.preset.c_str(),
+                 candidate.meta.gitSha.c_str(),
+                 candidate.meta.timestamp.empty()
+                     ? "no timestamp"
+                     : candidate.meta.timestamp.c_str());
+    std::fprintf(out, "  %-28s %-26s %14s %14s %9s  %s\n", "scenario",
+                 "metric", "baseline", "candidate", "delta", "verdict");
+    for (const Comparison &c : report.comparisons) {
+        const char *verdict =
+            c.verdict == Verdict::regressed
+                ? "REGRESSED"
+                : c.verdict == Verdict::improved ? "improved" : "ok";
+        std::fprintf(out, "  %-28s %-26s %14.4g %14.4g %+8.2f%%  %s\n",
+                     c.scenario.c_str(), c.metric.c_str(), c.baseline,
+                     c.candidate, c.deltaPct, verdict);
+    }
+    for (const std::string &note : report.notes)
+        std::fprintf(out, "  note: %s\n", note.c_str());
+    std::fprintf(out, "  %s\n",
+                 report.anyRegression
+                     ? "RESULT: regression beyond the noise band"
+                     : "RESULT: no regression beyond the noise band");
+}
+
+} // namespace f4t::obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Noise-aware perf-regression comparison between benchmark result
+ * files. Understands two document shapes:
+ *
+ *  - BENCH_*.json written by the bench/ harnesses (kind inferred from
+ *    the "bench" key): per-scenario throughput metrics, higher-better.
+ *  - stage-latency JSON written by obs::writeStageJson ("kind":
+ *    "stage_latency"): per-stage p50/p99 in µs, lower-better.
+ *
+ * Comparison is metric-by-metric within matching scenario names. Each
+ * metric's direction is inferred from its name (rates are
+ * higher-better, latencies lower-better; bookkeeping values such as
+ * wall_seconds or raw event counts are not compared). A delta inside
+ * the noise band is a pass either way — wall-clock benchmarks on a
+ * shared machine are only meaningful beyond that band.
+ */
+
+#ifndef F4T_OBS_REGRESSION_HH
+#define F4T_OBS_REGRESSION_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/run_meta.hh"
+
+namespace f4t::obs
+{
+
+/** One comparable number from a results file. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    bool higherBetter = true;
+};
+
+struct ScenarioResult
+{
+    std::string name;
+    std::vector<Metric> metrics;
+    /** Determinism fingerprint when the file carries one ("" if not). */
+    std::string fingerprint;
+};
+
+/** A parsed results file, normalized for comparison. */
+struct ReportDoc
+{
+    std::string path;
+    /** "kernel", "stage_latency", ... — must match to compare. */
+    std::string kind;
+    RunMeta meta;
+    std::vector<ScenarioResult> scenarios;
+};
+
+/**
+ * Direction heuristic, exposed for tests. @return true when the
+ * metric's direction is known; @p higher_better receives it.
+ */
+bool metricDirection(std::string_view name, bool *higher_better);
+
+/** Parse + normalize one results file; nullopt (+error) on failure. */
+std::optional<ReportDoc> loadReportDoc(const std::string &path,
+                                       std::string *error);
+
+enum class Verdict
+{
+    pass,      ///< delta within the noise band
+    improved,  ///< moved the good way beyond the band
+    regressed, ///< moved the bad way beyond the band
+};
+
+struct Comparison
+{
+    std::string scenario;
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    /** Signed percent change, candidate relative to baseline. */
+    double deltaPct = 0.0;
+    Verdict verdict = Verdict::pass;
+};
+
+struct RegressionReport
+{
+    std::vector<Comparison> comparisons;
+    /** Non-fatal observations: fingerprint changes, scenarios present
+     *  on only one side, metrics with no counterpart. */
+    std::vector<std::string> notes;
+    bool anyRegression = false;
+};
+
+/**
+ * Compare @p candidate against @p baseline with the given fractional
+ * noise band (0.10 == 10%). Precondition: same kind and comparable
+ * run metadata — callers check with comparableRuns() first.
+ */
+RegressionReport compareDocs(const ReportDoc &baseline,
+                             const ReportDoc &candidate, double noise_band);
+
+/** Print the human-readable verdict table for one comparison. */
+void printReport(std::FILE *out, const ReportDoc &baseline,
+                 const ReportDoc &candidate, const RegressionReport &report,
+                 double noise_band);
+
+} // namespace f4t::obs
+
+#endif // F4T_OBS_REGRESSION_HH

@@ -1,0 +1,102 @@
+#include "obs/run_meta.hh"
+
+#include "obs/json.hh"
+#include "sim/check.hh"
+#include "sim/trace.hh"
+
+#include <ctime>
+
+// F4T_GIT_SHA / F4T_PRESET_NAME are injected for this translation unit
+// only (see src/obs/CMakeLists.txt) so a new commit rebuilds one file,
+// not the whole library.
+#ifndef F4T_GIT_SHA
+#define F4T_GIT_SHA "unknown"
+#endif
+#ifndef F4T_PRESET_NAME
+#define F4T_PRESET_NAME "unknown"
+#endif
+
+namespace f4t::obs
+{
+
+RunMeta
+currentRunMeta()
+{
+    RunMeta meta;
+    meta.gitSha = F4T_GIT_SHA;
+    meta.preset = F4T_PRESET_NAME;
+    meta.traceEnabled = sim::trace::compiledIn;
+    meta.checksEnabled = sim::checksEnabled;
+
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc)) {
+        char buf[32];
+        if (std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &utc))
+            meta.timestamp = buf;
+    }
+    return meta;
+}
+
+void
+writeMetaJson(std::FILE *out, const RunMeta &meta, int indent)
+{
+    std::fprintf(out,
+                 "%*s\"meta\": {\n"
+                 "%*s  \"git_sha\": \"%s\",\n"
+                 "%*s  \"preset\": \"%s\",\n"
+                 "%*s  \"trace_enabled\": %s,\n"
+                 "%*s  \"checks_enabled\": %s,\n"
+                 "%*s  \"timestamp\": \"%s\"\n"
+                 "%*s}",
+                 indent, "", indent, "", meta.gitSha.c_str(), indent, "",
+                 meta.preset.c_str(), indent, "",
+                 meta.traceEnabled ? "true" : "false", indent, "",
+                 meta.checksEnabled ? "true" : "false", indent, "",
+                 meta.timestamp.c_str(), indent, "");
+}
+
+RunMeta
+parseRunMeta(const JsonValue &meta)
+{
+    RunMeta out;
+    if (!meta.isObject())
+        return out;
+    if (const JsonValue *v = meta.find("git_sha"))
+        out.gitSha = v->stringOr(out.gitSha);
+    if (const JsonValue *v = meta.find("preset"))
+        out.preset = v->stringOr(out.preset);
+    if (const JsonValue *v = meta.find("trace_enabled"))
+        out.traceEnabled = v->boolOr(out.traceEnabled);
+    if (const JsonValue *v = meta.find("checks_enabled"))
+        out.checksEnabled = v->boolOr(out.checksEnabled);
+    if (const JsonValue *v = meta.find("timestamp"))
+        out.timestamp = v->stringOr(out.timestamp);
+    return out;
+}
+
+bool
+comparableRuns(const RunMeta &a, const RunMeta &b, std::string *why)
+{
+    if (a.preset != b.preset) {
+        if (why)
+            *why = "build preset differs ('" + a.preset + "' vs '" +
+                   b.preset + "')";
+        return false;
+    }
+    if (a.traceEnabled != b.traceEnabled) {
+        if (why)
+            *why = "F4T_ENABLE_TRACE differs (tracing changes the hot "
+                   "path cost)";
+        return false;
+    }
+    if (a.checksEnabled != b.checksEnabled) {
+        if (why)
+            *why = "F4T_ENABLE_CHECKS differs (invariant checks change "
+                   "the hot path cost)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace f4t::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Run metadata stamped into every BENCH_*.json: git revision, build
+ * preset, the two compile-time feature gates, and a wall-clock
+ * timestamp. f4t_report refuses to compare two files whose metadata
+ * says the builds are not comparable (different preset or different
+ * gate settings) — a trace-on build against a trace-off baseline is
+ * an apples-to-oranges perf comparison, not a regression.
+ */
+
+#ifndef F4T_OBS_RUN_META_HH
+#define F4T_OBS_RUN_META_HH
+
+#include <cstdio>
+#include <string>
+
+namespace f4t::obs
+{
+
+struct JsonValue;
+
+struct RunMeta
+{
+    std::string gitSha = "unknown";
+    std::string preset = "unknown";
+    bool traceEnabled = false;
+    bool checksEnabled = false;
+    /** ISO-8601 UTC wall time of the run ("" when not recorded). */
+    std::string timestamp;
+
+    bool known() const { return preset != "unknown"; }
+};
+
+/** Metadata of the currently running binary (gates are compile-time;
+ *  the SHA and preset are baked in at configure time). */
+RunMeta currentRunMeta();
+
+/**
+ * Emit the metadata as a `"meta": {...}` JSON object member (no
+ * trailing comma) at indentation @p indent, for the hand-rolled
+ * writers in bench/ and tools/.
+ */
+void writeMetaJson(std::FILE *out, const RunMeta &meta, int indent);
+
+/** Parse a "meta" object; fields missing in old files stay defaulted. */
+RunMeta parseRunMeta(const JsonValue &meta);
+
+/**
+ * Are two runs comparable for performance numbers? Presets and both
+ * feature gates must match (the git SHA and timestamp may differ —
+ * that is the comparison being made). @p why receives the first
+ * mismatch when the answer is no.
+ */
+bool comparableRuns(const RunMeta &a, const RunMeta &b, std::string *why);
+
+} // namespace f4t::obs
+
+#endif // F4T_OBS_RUN_META_HH

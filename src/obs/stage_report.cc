@@ -1,0 +1,151 @@
+#include "obs/stage_report.hh"
+
+#include "obs/run_meta.hh"
+
+namespace f4t::obs
+{
+
+using sim::ctrace::CausalTracer;
+using sim::ctrace::Stage;
+using sim::ctrace::numStages;
+
+namespace
+{
+
+Stage
+stageAt(std::size_t i)
+{
+    return static_cast<Stage>(i);
+}
+
+} // namespace
+
+void
+printStageTable(std::FILE *out, CausalTracer &tracer)
+{
+    std::fprintf(out,
+                 "  %-10s %9s %9s %9s %9s %9s %9s %9s\n"
+                 "  %-10s %9s %9s %9s %9s %9s %9s %9s\n",
+                 "stage", "samples", "queue", "queue", "service", "service",
+                 "total", "total", "", "", "p50 us", "p99 us", "p50 us",
+                 "p99 us", "p50 us", "p99 us");
+    for (std::size_t i = 0; i < numStages; ++i) {
+        Stage s = stageAt(i);
+        sim::Histogram &total = tracer.stageTotal(s);
+        if (total.count() == 0)
+            continue;
+        sim::Histogram &queue = tracer.stageQueue(s);
+        sim::Histogram &service = tracer.stageService(s);
+        std::fprintf(out,
+                     "  %-10s %9llu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                     sim::ctrace::stageName(s),
+                     static_cast<unsigned long long>(total.count()),
+                     queue.percentile(50.0), queue.percentile(99.0),
+                     service.percentile(50.0), service.percentile(99.0),
+                     total.percentile(50.0), total.percentile(99.0));
+    }
+    sim::Histogram &e2e = tracer.e2e();
+    std::fprintf(out,
+                 "  %-10s %9llu %29s %19s %9.3f %9.3f\n", "e2e",
+                 static_cast<unsigned long long>(e2e.count()), "", "",
+                 e2e.percentile(50.0), e2e.percentile(99.0));
+    std::fprintf(out,
+                 "  requests: %llu started, %llu completed, %llu aborted"
+                 " | anomalies: %llu out-of-order, %llu dup-arrivals,"
+                 " %llu coalesced, %llu wire-reentries, %llu abandoned,"
+                 " %llu overflow-dropped\n",
+                 static_cast<unsigned long long>(tracer.requestsStarted()),
+                 static_cast<unsigned long long>(tracer.requestsCompleted()),
+                 static_cast<unsigned long long>(tracer.requestsAborted()),
+                 static_cast<unsigned long long>(tracer.outOfOrderCloses()),
+                 static_cast<unsigned long long>(tracer.duplicateArrivals()),
+                 static_cast<unsigned long long>(tracer.coalescedMerges()),
+                 static_cast<unsigned long long>(tracer.wireReentries()),
+                 static_cast<unsigned long long>(tracer.abandonedSpans()),
+                 static_cast<unsigned long long>(tracer.overflowDropped()));
+}
+
+void
+printSlowestCriticalPath(std::FILE *out, CausalTracer &tracer)
+{
+    const sim::ctrace::Request *slowest = tracer.slowestCompleted();
+    if (!slowest) {
+        std::fprintf(out, "  (no completed traced requests)\n");
+        return;
+    }
+    std::fprintf(out, "%s", tracer.criticalPath(*slowest).c_str());
+}
+
+namespace
+{
+
+void
+writeDist(std::FILE *f, const char *key, sim::Histogram &h, bool last)
+{
+    std::fprintf(f,
+                 "      \"%s\": {\"count\": %llu, \"mean_us\": %.6f, "
+                 "\"p50_us\": %.6f, \"p99_us\": %.6f, \"max_us\": %.6f}%s\n",
+                 key, static_cast<unsigned long long>(h.count()), h.mean(),
+                 h.percentile(50.0), h.percentile(99.0), h.max(),
+                 last ? "" : ",");
+}
+
+} // namespace
+
+bool
+writeStageJson(const std::string &path, CausalTracer &tracer,
+               const RunMeta &meta)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "stage_report: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"kind\": \"stage_latency\",\n  \"schema\": 1,\n");
+    writeMetaJson(f, meta, 2);
+    std::fprintf(f, ",\n  \"stages\": [\n");
+    bool first = true;
+    for (std::size_t i = 0; i < numStages; ++i) {
+        Stage s = stageAt(i);
+        if (tracer.stageTotal(s).count() == 0)
+            continue;
+        std::fprintf(f, "%s    {\n      \"name\": \"%s\",\n",
+                     first ? "" : ",\n", sim::ctrace::stageName(s));
+        first = false;
+        writeDist(f, "total", tracer.stageTotal(s), false);
+        writeDist(f, "queue", tracer.stageQueue(s), false);
+        writeDist(f, "service", tracer.stageService(s), true);
+        std::fprintf(f, "    }");
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"e2e\": {\n");
+    writeDist(f, "total", tracer.e2e(), true);
+    std::fprintf(f, "  },\n");
+    std::fprintf(
+        f,
+        "  \"counters\": {\n"
+        "    \"requests_started\": %llu,\n"
+        "    \"requests_completed\": %llu,\n"
+        "    \"requests_aborted\": %llu,\n"
+        "    \"out_of_order_closes\": %llu,\n"
+        "    \"duplicate_arrivals\": %llu,\n"
+        "    \"coalesced_merges\": %llu,\n"
+        "    \"wire_reentries\": %llu,\n"
+        "    \"abandoned_spans\": %llu,\n"
+        "    \"overflow_dropped\": %llu\n"
+        "  }\n}\n",
+        static_cast<unsigned long long>(tracer.requestsStarted()),
+        static_cast<unsigned long long>(tracer.requestsCompleted()),
+        static_cast<unsigned long long>(tracer.requestsAborted()),
+        static_cast<unsigned long long>(tracer.outOfOrderCloses()),
+        static_cast<unsigned long long>(tracer.duplicateArrivals()),
+        static_cast<unsigned long long>(tracer.coalescedMerges()),
+        static_cast<unsigned long long>(tracer.wireReentries()),
+        static_cast<unsigned long long>(tracer.abandonedSpans()),
+        static_cast<unsigned long long>(tracer.overflowDropped()));
+    std::fclose(f);
+    return true;
+}
+
+} // namespace f4t::obs

@@ -21,6 +21,11 @@
 namespace f4t::sim
 {
 
+namespace ctrace
+{
+class CausalTracer;
+} // namespace ctrace
+
 /** A named clock with a fixed period, shared by clocked objects. */
 class ClockDomain
 {
@@ -130,6 +135,12 @@ class Simulation
     trace::TraceEventSink *timeline() { return timeline_; }
     void setTimeline(trace::TraceEventSink *sink) { timeline_ = sink; }
 
+    /** Causal request tracer (sim/causal_trace.hh); nullptr when no
+     *  tracer is attached. Hot call sites additionally compile out
+     *  under `if constexpr (trace::compiledIn)`. */
+    ctrace::CausalTracer *causalTracer() { return ctracer_; }
+    void setCausalTracer(ctrace::CausalTracer *tracer) { ctracer_ = tracer; }
+
     /** Runtime trace-flag selection ("Fpc,Sch*"); see sim/trace.hh. */
     std::size_t
     setTraceFlags(const std::string &spec)
@@ -215,6 +226,7 @@ class Simulation
     EventQueue queue_;
     StatRegistry stats_;
     trace::TraceEventSink *timeline_ = nullptr;
+    ctrace::CausalTracer *ctracer_ = nullptr;
     ClockDomain engineClock_;
     ClockDomain netClock_;
     ClockDomain hostClock_;

@@ -337,6 +337,19 @@ TraceEventSink::write(std::ostream &os) const
         os << "}";
         sep = ",\n ";
     }
+    if (dropped_ > 0) {
+        // The buffer overflowed: instead of a silently truncated
+        // timeline, the document ends with a counter record carrying
+        // the drop count, timestamped at the last retained event.
+        Tick last = events_.empty() ? 0 : events_.back().ts;
+        std::snprintf(num, sizeof num, "%.6f",
+                      static_cast<double>(last) * 1e-6);
+        os << sep
+           << "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":" << num
+           << ",\"name\":\"trace.droppedEvents\",\"cat\":\"meta\","
+              "\"args\":{\"value\":"
+           << dropped_ << "}}";
+    }
     os << "\n],\"displayTimeUnit\":\"ns\"}\n";
 }
 

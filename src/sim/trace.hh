@@ -144,6 +144,14 @@ void setSimulationObservers(std::function<void(Simulation &)> on_created,
  * @p max_events, further emissions are counted and dropped — and
  * write() produces the JSON document. Tracks (one per module, named)
  * map to thread ids within a single synthetic process.
+ *
+ * Memory bound: the buffer holds at most max_events records (default
+ * 2^20, roughly 100 MB worst case with long names) and NEVER grows
+ * past it — long runs truncate rather than exhaust memory. Overflow is
+ * not silent: droppedEvents() reports the count, and when any events
+ * were dropped the written document ends with a
+ * "trace.droppedEvents" counter record (category "meta", stamped at
+ * the last retained event) so a viewer shows the truncation point.
  */
 class TraceEventSink
 {

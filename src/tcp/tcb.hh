@@ -27,6 +27,7 @@
 
 #include "net/four_tuple.hh"
 #include "net/seq.hh"
+#include "sim/trace_token.hh"
 #include "sim/types.hh"
 
 namespace f4t::tcp
@@ -292,6 +293,10 @@ struct TcpEvent
 
     // timeout payload.
     TimeoutKind timeoutKind = TimeoutKind::retransmit;
+
+    /** Causal-trace token of the request that produced this event
+     *  (empty struct when tracing is compiled out). */
+    [[no_unique_address]] sim::ctrace::Token trace;
 
     /**
      * Whether two events of the same flow can coalesce without losing

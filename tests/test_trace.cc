@@ -252,6 +252,36 @@ TEST(TraceEventSink, BoundedBufferCountsDrops)
     EXPECT_EQ(sink.droppedEvents(), 2u);
 }
 
+TEST(TraceEventSink, OverflowEmitsDropCounterRecord)
+{
+    sim::trace::TraceEventSink sink(2);
+    for (int i = 0; i < 6; ++i)
+        sink.instant("t", "c", "evt", 1'000'000 * (i + 1));
+    ASSERT_EQ(sink.droppedEvents(), 4u);
+
+    std::stringstream ss;
+    sink.write(ss);
+    std::string json = ss.str();
+    // The truncated document must say so: a final counter record with
+    // the drop count, stamped at the last retained event (2 us).
+    EXPECT_NE(json.find("\"name\":\"trace.droppedEvents\",\"cat\":"
+                        "\"meta\",\"args\":{\"value\":4}"),
+              std::string::npos)
+        << json;
+    std::size_t marker = json.find("trace.droppedEvents");
+    std::size_t ts = json.rfind("\"ts\":2.000000", marker);
+    EXPECT_NE(ts, std::string::npos) << json;
+}
+
+TEST(TraceEventSink, NoDropRecordWithoutOverflow)
+{
+    sim::trace::TraceEventSink sink;
+    sink.instant("t", "c", "evt", 1'000'000);
+    std::stringstream ss;
+    sink.write(ss);
+    EXPECT_EQ(ss.str().find("trace.droppedEvents"), std::string::npos);
+}
+
 TEST(TraceEventSink, WriteFileRoundTrips)
 {
     std::string path = tempPath("f4t_timeline.json");
