@@ -62,6 +62,26 @@ BM_CuckooInsertErase(benchmark::State &state)
 BENCHMARK(BM_CuckooInsertErase);
 
 void
+BM_CuckooChurnHighLoad(benchmark::State &state)
+{
+    // 65536-slot table held at ~90 % occupancy: every insert runs the
+    // collision/kick path that dominates at many-connection scale.
+    net::CuckooHashTable<net::FourTuple, std::uint32_t,
+                         net::FourTupleHash>
+        table(8192);
+    const std::uint32_t resident = 59000;
+    for (std::uint32_t i = 0; i < resident; ++i)
+        table.insert(tupleFor(i), i);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        table.erase(tupleFor(i % resident));
+        table.insert(tupleFor(i % resident), i);
+        ++i;
+    }
+}
+BENCHMARK(BM_CuckooChurnHighLoad);
+
+void
 BM_InternetChecksum1460(benchmark::State &state)
 {
     std::vector<std::uint8_t> payload(1460, 0xa5);

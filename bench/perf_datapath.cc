@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Wall-clock scale benchmark for the batched data path: many
+ * concurrent flows pushing traffic in both directions at once.
+ *
+ * perf_kernel measures the kernel on one saturated bulk flow; this
+ * harness measures the opposite corner — the Fig. 13 connectivity
+ * shape at full width. Two FtEngines are cabled at 100 Gbps and both
+ * sides run 128 B echo servers *and* echo clients, so every link
+ * direction carries a mix of requests and responses for >= 10 k
+ * concurrent connections. That stresses exactly what the batched
+ * pipeline and the hash/dense flow tables are for: per-packet flow
+ * lookup over a huge working set, burst link delivery, and TCB
+ * migration far past the SRAM-resident population.
+ *
+ * Output: a human-readable summary plus a JSON file (default
+ * BENCH_datapath.json) with the same schema perf_kernel emits
+ * ({"bench": "datapath", "schema": 2, meta, scenarios[]}), gated in CI
+ * by f4t_report against bench/baselines/BENCH_datapath.json.
+ *
+ * "fingerprint" hashes simulated quantities only (ticks, packet and
+ * byte counts, round trips): it must be identical across presets and
+ * may only change when modeled behavior legitimately changes.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hh"
+#include "apps/workloads.hh"
+#include "bench_util.hh"
+#include "sim/simulation.hh"
+
+namespace f4t
+{
+namespace
+{
+
+constexpr std::size_t threadsPerSide = 8;
+
+struct ScenarioResult
+{
+    std::string name;
+    double wallSeconds = 0;
+    std::uint64_t eventsProcessed = 0;
+    sim::Tick simTicks = 0;
+    std::uint64_t simPackets = 0;
+    std::uint64_t flows = 0;
+    std::uint64_t roundTrips = 0;
+    std::uint64_t fingerprint = 0;
+
+    double
+    hostEventsPerSec() const
+    {
+        return wallSeconds > 0 ? eventsProcessed / wallSeconds : 0;
+    }
+
+    double
+    simPacketsPerWallSec() const
+    {
+        return wallSeconds > 0 ? simPackets / wallSeconds : 0;
+    }
+};
+
+/** FNV-1a over simulated quantities: stable across kernel rewrites. */
+struct Fingerprint
+{
+    std::uint64_t state = 1469598103934665603ULL;
+
+    void
+    mix(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state ^= (value >> (i * 8)) & 0xff;
+            state *= 1099511628211ULL;
+        }
+    }
+};
+
+double
+wallSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * @param flows    total concurrent connections (split across both
+ *                 sides and @c threadsPerSide client threads per side)
+ * @param warmup   simulated time for handshakes + ramp before measuring
+ * @param window   simured measurement window
+ */
+ScenarioResult
+runManyFlows(std::size_t flows, sim::Tick warmup, sim::Tick window)
+{
+    core::EngineConfig config;
+    config.numFpcs = 8;
+    config.flowsPerFpc = 128;
+    config.maxFlows = 32768;
+    // One 128 B message in flight per flow: small TCP buffers, or host
+    // memory for tens of thousands of flows dwarfs the machine
+    // running the model (same sizing as the Fig. 13 harness).
+    config.tcpBufferBytes = 8 * 1024;
+    // Each application thread owns one host queue pair (one
+    // F4tLibrary per queue), so server and client threads need
+    // disjoint queues: servers take 0..threadsPerSide-1 on each side,
+    // clients the next threadsPerSide.
+    testbed::EnginePairWorld world(2 * threadsPerSide, config);
+
+    // Echo servers on both engines.
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> server_apis;
+    std::vector<std::unique_ptr<apps::EchoServerApp>> servers;
+    for (std::size_t i = 0; i < threadsPerSide; ++i) {
+        server_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeA, i, world.cpuA->core(i)));
+        server_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.sim, *world.runtimeB, i, world.cpuB->core(i)));
+        apps::EchoServerConfig server_config;
+        servers.push_back(std::make_unique<apps::EchoServerApp>(
+            *server_apis[server_apis.size() - 2], server_config));
+        servers.back()->start();
+        servers.push_back(std::make_unique<apps::EchoServerApp>(
+            *server_apis.back(), server_config));
+        servers.back()->start();
+    }
+    world.sim.runFor(sim::microsecondsToTicks(20));
+
+    // Echo clients on both sides: half the flows originate on A
+    // targeting B, half on B targeting A, so requests and responses
+    // cross in both link directions simultaneously.
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> client_apis;
+    std::vector<std::unique_ptr<apps::EchoClientApp>> clients;
+    std::size_t flows_per_thread = flows / (2 * threadsPerSide);
+    for (std::size_t i = 0; i < threadsPerSide; ++i) {
+        std::size_t q = threadsPerSide + i;
+        for (int side = 0; side < 2; ++side) {
+            client_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+                world.sim, side == 0 ? *world.runtimeA : *world.runtimeB,
+                q, side == 0 ? world.cpuA->core(q) : world.cpuB->core(q)));
+            apps::EchoClientConfig client_config;
+            client_config.peer =
+                side == 0 ? testbed::ipB() : testbed::ipA();
+            client_config.flows = flows_per_thread;
+            client_config.connectSpacing = sim::nanosecondsToTicks(100);
+            clients.push_back(std::make_unique<apps::EchoClientApp>(
+                *client_apis.back(), nullptr, client_config));
+            clients.back()->start();
+        }
+    }
+
+    world.sim.runFor(warmup);
+
+    std::uint64_t events_before = world.sim.queue().eventsProcessed();
+    std::uint64_t packets_before = world.link->aToB().packetsSent() +
+                                   world.link->bToA().packetsSent();
+    std::uint64_t trips_before = 0;
+    for (auto &client : clients)
+        trips_before += client->roundTrips();
+
+    auto start = std::chrono::steady_clock::now();
+    world.sim.runFor(window);
+
+    ScenarioResult result;
+    result.name = "many_flows";
+    result.wallSeconds = wallSince(start);
+    result.eventsProcessed =
+        world.sim.queue().eventsProcessed() - events_before;
+    result.simTicks = world.sim.now();
+    result.simPackets = world.link->aToB().packetsSent() +
+                        world.link->bToA().packetsSent() - packets_before;
+    std::uint64_t connected = 0, trips = 0;
+    for (auto &client : clients) {
+        connected += client->connectedFlows();
+        trips += client->roundTrips();
+    }
+    result.flows = connected;
+    result.roundTrips = trips - trips_before;
+
+    Fingerprint fp;
+    fp.mix(world.sim.now());
+    fp.mix(result.simPackets);
+    fp.mix(connected);
+    fp.mix(trips);
+    fp.mix(world.link->aToB().bytesSent());
+    fp.mix(world.link->bToA().bytesSent());
+    result.fingerprint = fp.state;
+    return result;
+}
+
+void
+writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "perf_datapath: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"datapath\",\n  \"schema\": 2,\n");
+    bench::writeRunMeta(out, 2);
+    std::fprintf(out, ",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        std::fprintf(out,
+                     "    {\n"
+                     "      \"name\": \"%s\",\n"
+                     "      \"wall_seconds\": %.6f,\n"
+                     "      \"host_events_per_sec\": %.1f,\n"
+                     "      \"events_processed\": %llu,\n"
+                     "      \"sim_ticks\": %llu,\n"
+                     "      \"sim_packets\": %llu,\n"
+                     "      \"sim_packets_per_wall_sec\": %.1f,\n"
+                     "      \"connected_flows\": %llu,\n"
+                     "      \"round_trips\": %llu,\n"
+                     "      \"fingerprint\": \"%016llx\"\n"
+                     "    }%s\n",
+                     r.name.c_str(), r.wallSeconds, r.hostEventsPerSec(),
+                     static_cast<unsigned long long>(r.eventsProcessed),
+                     static_cast<unsigned long long>(r.simTicks),
+                     static_cast<unsigned long long>(r.simPackets),
+                     r.simPacketsPerWallSec(),
+                     static_cast<unsigned long long>(r.flows),
+                     static_cast<unsigned long long>(r.roundTrips),
+                     static_cast<unsigned long long>(r.fingerprint),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+}
+
+} // namespace
+} // namespace f4t
+
+int
+main(int argc, char **argv)
+{
+    using namespace f4t;
+    sim::setVerbose(false);
+    bench::Obs::install(argc, argv); // strips capture flags from argv
+
+    // --smoke: few flows + tiny windows so a ctest entry keeps the
+    // harness building and running without spending real time. The
+    // measurement configuration (10240 flows) is the committed
+    // baseline CI gates against.
+    std::size_t flows = 10240;
+    sim::Tick warmup_us = 0; // 0 = derive from flow count below
+    sim::Tick window_us = 200;
+    std::string out_path = "BENCH_datapath.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            flows = 160;
+            window_us = 20;
+        } else if (std::strcmp(argv[i], "--flows") == 0 && i + 1 < argc) {
+            flows = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--warmup-us") == 0 &&
+                   i + 1 < argc) {
+            warmup_us = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--window-us") == 0 &&
+                   i + 1 < argc) {
+            window_us = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--flows N] [--warmup-us N]"
+                         " [--window-us N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (warmup_us == 0) {
+        // Connects are issued per thread at connectSpacing intervals
+        // (flows / 16 threads x 100 ns), but establishment beyond FPC
+        // capacity is serialized behind TCB migrations (one eviction
+        // at a time per FPC), so the tail connects at roughly one
+        // flow per microsecond. Budget for that so every flow is
+        // ping-ponging before the measurement window opens.
+        warmup_us = static_cast<sim::Tick>(200 + flows * 1.2);
+        if (smoke)
+            warmup_us = 100;
+    }
+
+    bench::banner("perf_datapath",
+                  "wall-clock throughput at many-connection scale");
+    std::printf("flows=%zu warmup=%lluus window=%lluus\n\n", flows,
+                static_cast<unsigned long long>(warmup_us),
+                static_cast<unsigned long long>(window_us));
+
+    std::vector<ScenarioResult> results;
+    results.push_back(runManyFlows(flows,
+                                   sim::microsecondsToTicks(warmup_us),
+                                   sim::microsecondsToTicks(window_us)));
+
+    bench::Table table({"scenario", "flows", "wall s", "events",
+                        "Mev/s (host)", "sim pkts", "kpkt/s (host)",
+                        "trips", "fingerprint"});
+    for (const ScenarioResult &r : results) {
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(r.fingerprint));
+        table.addRow({r.name, std::to_string(r.flows),
+                      bench::fmt("%.3f", r.wallSeconds),
+                      std::to_string(r.eventsProcessed),
+                      bench::fmt("%.2f", r.hostEventsPerSec() / 1e6),
+                      std::to_string(r.simPackets),
+                      bench::fmt("%.1f", r.simPacketsPerWallSec() / 1e3),
+                      std::to_string(r.roundTrips), fp});
+    }
+    table.print();
+
+    writeJson(out_path, results);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

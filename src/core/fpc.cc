@@ -40,6 +40,7 @@ void
 Fpc::auditInvariants() const
 {
     std::size_t occupied = 0;
+    std::size_t evicting = 0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
         const Slot &slot = slots_[i];
         if (!slot.occupied) {
@@ -49,6 +50,7 @@ Fpc::auditInvariants() const
             continue;
         }
         ++occupied;
+        evicting += slot.evictFlag ? 1 : 0;
         F4T_CHECK(slot.flow != tcp::invalidFlowId,
                   "%s: occupied slot %zu without a flow", name().c_str(),
                   i);
@@ -60,6 +62,9 @@ Fpc::auditInvariants() const
     F4T_CHECK(occupied == cam_.occupancy(),
               "%s: %zu occupied slots vs CAM occupancy %zu",
               name().c_str(), occupied, cam_.occupancy());
+    F4T_CHECK(evicting == pendingEvictions_,
+              "%s: %zu evict-flagged slots vs maintained counter %zu",
+              name().c_str(), evicting, pendingEvictions_);
 
     for (std::size_t i = 0; i < fpuPipe_.size(); ++i) {
         const FpuJob &job = fpuPipe_.at(i);
@@ -133,7 +138,11 @@ void
 Fpc::requestEvict(tcp::FlowId flow)
 {
     std::size_t slot_index = cam_.lookup(flow);
-    slots_[slot_index].evictFlag = true;
+    Slot &slot = slots_[slot_index];
+    if (!slot.evictFlag) {
+        slot.evictFlag = true;
+        ++pendingEvictions_;
+    }
     activate();
 }
 
@@ -160,6 +169,8 @@ Fpc::releaseFlow(tcp::FlowId flow)
     Slot &slot = slots_[slot_index];
     f4t_assert(!slot.inFpu, "%s: releasing flow %u while in the FPU",
                name().c_str(), flow);
+    if (slot.evictFlag)
+        --pendingEvictions_;
     slot = Slot{};
     eventTable_.peekMutable(slot_index).clear();
     cam_.erase(flow);
@@ -204,6 +215,19 @@ Fpc::tick()
     if (cycle >= lastInstallCycle_ + 2)
         installUsedThisWindow_ = false;
 
+    // The round-robin scan advances one slot per dotted cycle in the
+    // modeled hardware, whether or not this object ticked on that
+    // cycle. Fast-forward naps (below) skip host events for cycles
+    // proven idle; catch the pointer up for the dotted cycles that
+    // elapsed since the last tick before this cycle's phase runs.
+    if (!slots_.empty() && cycle > rrSyncedCycle_) {
+        std::uint64_t dotted_skipped =
+            cycle / 2 - (rrSyncedCycle_ + 1) / 2;
+        if (dotted_skipped != 0)
+            rrIndex_ = (rrIndex_ + dotted_skipped) % slots_.size();
+    }
+    rrSyncedCycle_ = cycle;
+
     const bool even_phase = (cycle & 1) == 0;
 
     if (even_phase) {
@@ -232,25 +256,40 @@ Fpc::tick()
             issueSlot(index, cycle);
     }
 
-    // Stay active while any work remains; otherwise deschedule.
-    if (!inputFifo_.empty() || !fpuPipe_.empty()) {
-        idleScanCountdown_ = 0;
+    // Events in flight: tick every cycle, no shortcut possible.
+    if (!inputFifo_.empty())
         return true;
+
+    // Nothing left for the solid phase. The next cycle that can do
+    // work is a dotted one: either the pending FPU write-back, or the
+    // first dotted cycle whose round-robin examine lands on an
+    // eligible slot. Every path that creates new work in between
+    // (enqueueEvent, installTcb, requestEvict) calls activate(), which
+    // cuts the nap short, so sleeping to that cycle is exact — the
+    // skipped ticks would have examined only ineligible slots.
+    sim::Cycles next_dotted = cycle | 1;
+    if (next_dotted <= cycle)
+        next_dotted += 2;
+    sim::Cycles wake = 0;
+    if (!fpuPipe_.empty()) {
+        wake = fpuPipe_.front().readyCycle | 1;
+        if (wake < next_dotted)
+            wake = next_dotted;
     }
-    // The eligibility scan is O(slots) and only decides whether the
-    // model may sleep; throttle it so a busy FPC does not pay it on
-    // every cycle (pure simulator optimization, no timing effect —
-    // the FPC merely stays awake a few extra cycles).
-    if (idleScanCountdown_ > 0) {
-        --idleScanCountdown_;
-        return true;
-    }
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-        if (slotEligible(slots_[i], i)) {
-            idleScanCountdown_ = 16;
-            return true;
+    for (std::size_t k = 0; k < slots_.size(); ++k) {
+        std::size_t index = (rrIndex_ + k) % slots_.size();
+        if (slotEligible(slots_[index], index)) {
+            sim::Cycles examine = next_dotted + 2 * k;
+            if (wake == 0 || examine < wake)
+                wake = examine;
+            break;
         }
     }
+    if (wake == 0)
+        return false; // fully idle; activate() rearms
+    if (wake == cycle + 1)
+        return true;
+    activateAt(wake);
     return false;
 }
 
@@ -401,6 +440,8 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 
     if (actions.releaseFlow) {
         // Connection finished: recycle the slot.
+        if (slot.evictFlag)
+            --pendingEvictions_;
         eventTable_.peekMutable(job.slotIndex).clear();
         cam_.erase(slot.flow);
         slot = Slot{};
@@ -417,6 +458,7 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         eventTable_.peekMutable(job.slotIndex).clear();
         cam_.erase(slot.flow);
         slot = Slot{};
+        --pendingEvictions_;
         ++evictions_;
         F4T_TRACE_CD(Fpc, clock(), "%s: evict flow %u toward DRAM",
                      name().c_str(), job.flow);

@@ -246,15 +246,11 @@ class Fpc : public sim::ClockedObject
     /** The least-recently-active resident flow (eviction candidate). */
     std::optional<tcp::FlowId> coldestFlow() const;
 
-    /** Slots currently flagged for eviction (room being made). */
-    std::size_t
-    pendingEvictions() const
-    {
-        std::size_t n = 0;
-        for (const Slot &slot : slots_)
-            n += slot.evictFlag ? 1 : 0;
-        return n;
-    }
+    /** Slots currently flagged for eviction (room being made). The
+     *  scheduler polls this every cycle while installs are stuck, so
+     *  it is a maintained counter, not a slot scan (the audit
+     *  recounts). */
+    std::size_t pendingEvictions() const { return pendingEvictions_; }
 
     bool hasFlow(tcp::FlowId flow) const { return cam_.contains(flow); }
     std::size_t flowCount() const { return cam_.occupancy(); }
@@ -320,12 +316,20 @@ class Fpc : public sim::ClockedObject
     FlowCam cam_;
     sim::RingFifo<FpuJob> fpuPipe_;
     std::size_t rrIndex_ = 0;
+    /**
+     * Cycle through which rrIndex_ is synced. The round-robin pointer
+     * models a scan that advances on every dotted cycle whether or not
+     * the FPC object ticked; fast-forward naps skip host events, and
+     * the pointer catches up lazily at the top of tick().
+     */
+    sim::Cycles rrSyncedCycle_ = 0;
     /** Checked builds: validates the 1-event-per-2-cycles port claim. */
     F4T_IF_CHECKS(sim::Cycles lastEventCycle_ = 0;
                   bool anyEventHandled_ = false;)
     sim::Cycles lastInstallCycle_ = 0;
+    /** Count of slots with evictFlag set (see pendingEvictions()). */
+    std::size_t pendingEvictions_ = 0;
     bool installUsedThisWindow_ = false;
-    unsigned idleScanCountdown_ = 0;
 
     ActionSink actionSink_;
     EvictSink evictSink_;

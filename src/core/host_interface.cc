@@ -33,6 +33,8 @@ HostInterface::attachQueue(host::QueuePair *pair)
 HostInterface::FlowState &
 HostInterface::flowState(tcp::FlowId flow)
 {
+    if (flow >= flows_.size())
+        flows_.resize(flow + 1);
     return flows_[flow];
 }
 
@@ -47,8 +49,7 @@ HostInterface::setFlowQueue(tcp::FlowId flow, std::size_t queue_index)
 std::size_t
 HostInterface::flowQueue(tcp::FlowId flow) const
 {
-    auto it = flows_.find(flow);
-    return it == flows_.end() ? 0 : it->second.queueIndex;
+    return flow < flows_.size() ? flows_[flow].queueIndex : 0;
 }
 
 void
@@ -72,7 +73,8 @@ HostInterface::setRxStart(tcp::FlowId flow, net::SeqNum rx_start)
 void
 HostInterface::dropFlow(tcp::FlowId flow)
 {
-    flows_.erase(flow);
+    if (flow < flows_.size())
+        flows_[flow] = FlowState{};
 }
 
 void

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/packet_generator.hh"
@@ -139,7 +138,9 @@ class HostInterface : public sim::SimObject,
     CompletionWaker waker_;
 
     std::vector<QueueState> queues_;
-    std::unordered_map<tcp::FlowId, FlowState> flows_;
+    /** Dense per-flow table indexed by engine-allocated flow ID, grown
+     *  on demand: the payload DMA paths hit it per packet. */
+    std::vector<FlowState> flows_;
 
     sim::Counter commandsFetched_;
     sim::Counter completionsPosted_;

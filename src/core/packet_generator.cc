@@ -1,5 +1,6 @@
 #include "packet_generator.hh"
 
+#include "net/link.hh"
 #include "sim/causal_trace.hh"
 
 namespace f4t::core
@@ -33,6 +34,15 @@ PacketGenerator::emit(net::Packet &&pkt, sim::Tick when)
     f4t_assert(transmit_ != nullptr, "%s has no transmit sink",
                name().c_str());
     if (when <= now()) {
+        transmit_(std::move(pkt));
+        return;
+    }
+    if (net::datapathBatchingEnabled()) {
+        // Hand the segment over now with its emission tick stamped:
+        // the link serializes no earlier than txReady, so wire timing
+        // matches the scheduled path without one host event per
+        // segment.
+        pkt.txReady = when;
         transmit_(std::move(pkt));
         return;
     }

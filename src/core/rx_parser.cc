@@ -69,7 +69,7 @@ RxParser::processPacket(const net::Packet &pkt)
     F4T_TRACE(RxParser, "%s: parse flow=%u seq=%u ack=%u payload=%zuB",
               name().c_str(), flow, tcp.seq, tcp.ack,
               pkt.payload.size());
-    FlowState &state = flows_[flow];
+    FlowState &state = flowSlot(flow);
 
     tcp::TcpEvent event;
     event.flow = flow;
@@ -172,10 +172,9 @@ RxParser::processPacket(const net::Packet &pkt)
 void
 RxParser::onUserRead(tcp::FlowId flow, SeqNum read_ptr)
 {
-    auto it = flows_.find(flow);
-    if (it == flows_.end())
+    if (flow >= flows_.size() || !flows_[flow].present)
         return;
-    FlowState &state = it->second;
+    FlowState &state = flows_[flow];
     SeqNum reference = static_cast<SeqNum>(state.userReadExt);
     std::int32_t delta = net::seqDiff(read_ptr, reference);
     if (delta > 0)
@@ -185,16 +184,26 @@ RxParser::onUserRead(tcp::FlowId flow, SeqNum read_ptr)
 void
 RxParser::dropFlow(tcp::FlowId flow)
 {
-    flows_.erase(flow);
+    if (flow < flows_.size())
+        flows_[flow] = FlowState{};
 }
 
 SeqNum
 RxParser::rxStart(tcp::FlowId flow) const
 {
-    auto it = flows_.find(flow);
-    if (it == flows_.end() || !it->second.synSeen)
+    if (flow >= flows_.size() || !flows_[flow].synSeen)
         return 0;
-    return it->second.irs + 1;
+    return flows_[flow].irs + 1;
+}
+
+RxParser::FlowState &
+RxParser::flowSlot(tcp::FlowId flow)
+{
+    if (flow >= flows_.size())
+        flows_.resize(flow + 1);
+    FlowState &state = flows_[flow];
+    state.present = true;
+    return state;
 }
 
 } // namespace f4t::core

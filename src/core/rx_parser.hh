@@ -22,7 +22,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/cuckoo_hash.hh"
 #include "net/four_tuple.hh"
@@ -87,6 +87,8 @@ class RxParser : public sim::SimObject
   private:
     struct FlowState
     {
+        /** Slot holds live reassembly state (dense array occupancy). */
+        bool present = false;
         bool synSeen = false;
         net::SeqNum irs = 0;
         /** Unwrapped reassembled boundary (64-bit extension of seq). */
@@ -101,13 +103,18 @@ class RxParser : public sim::SimObject
 
     std::uint64_t unwrap(const FlowState &state, net::SeqNum seq) const;
 
+    /** Dense per-flow slot, grown on demand; replaces the per-packet
+     *  hash lookup with an array index (flow IDs are small engine-
+     *  allocated integers). */
+    FlowState &flowSlot(tcp::FlowId flow);
+
     FlowLookup &flowTable_;
     RxParserConfig config_;
     EventSink eventSink_;
     SynHandler synHandler_;
     PayloadSink *payloadSink_ = nullptr;
 
-    std::unordered_map<tcp::FlowId, FlowState> flows_;
+    std::vector<FlowState> flows_;
 
     sim::Counter packetsParsed_;
     sim::Counter packetsDropped_;

@@ -3,6 +3,8 @@
 #include "core/memory_manager.hh"
 #include "sim/causal_trace.hh"
 
+#include <algorithm>
+
 namespace f4t::core
 {
 
@@ -115,13 +117,57 @@ Scheduler::auditInvariants() const
     }
 
     // Pended events always belong to allocated flows (the retry path
-    // can terminate only if their migrations eventually settle).
+    // can terminate only if their migrations eventually settle), and
+    // the per-flow pended counts must mirror the queue exactly.
+    std::unordered_map<tcp::FlowId, std::uint32_t> recount;
     for (const PendingEntry &entry : pendingQueue_) {
         F4T_CHECK(lut_[entry.event.flow].kind !=
                       Location::Kind::unallocated,
                   "%s: pended event for unallocated flow %u",
                   name().c_str(), entry.event.flow);
+        ++recount[entry.event.flow];
     }
+    F4T_CHECK(recount.size() == pendedCount_.size(),
+              "%s: pended-count map tracks %zu flows but the queue "
+              "holds %zu", name().c_str(), pendedCount_.size(),
+              recount.size());
+    for (const auto &[flow, n] : recount) {
+        auto it = pendedCount_.find(flow);
+        F4T_CHECK(it != pendedCount_.end() && it->second == n,
+                  "%s: flow %u has %u pended events but the count map "
+                  "says %u", name().c_str(), flow, n,
+                  it != pendedCount_.end() ? it->second : 0);
+    }
+
+    // The retry queue is sorted by retry cycle (the early-exit scan in
+    // tick() and the O(1) nap computation both rely on it).
+    for (std::size_t i = 1; i < pendingQueue_.size(); ++i) {
+        F4T_CHECK(pendingQueue_[i - 1].retryCycle <=
+                      pendingQueue_[i].retryCycle,
+                  "%s: pending queue out of order at %zu (%llu > %llu)",
+                  name().c_str(), i,
+                  static_cast<unsigned long long>(
+                      pendingQueue_[i - 1].retryCycle),
+                  static_cast<unsigned long long>(
+                      pendingQueue_[i].retryCycle));
+    }
+
+    // Every install-queued flow is MOVING with a TCB in transit bound
+    // for that queue's FPC, and the total matches the running count.
+    std::size_t installs = 0;
+    for (std::size_t f = 0; f < installQueues_.size(); ++f) {
+        for (tcp::FlowId flow : installQueues_[f]) {
+            auto mv = moving_.find(flow);
+            F4T_CHECK(mv != moving_.end() && mv->second.inTransit &&
+                          mv->second.destFpc == f,
+                      "%s: install queue %zu holds flow %u without a "
+                      "matching in-transit TCB", name().c_str(), f, flow);
+            ++installs;
+        }
+    }
+    F4T_CHECK(installs == installsQueued_,
+              "%s: %zu install-queued flows vs running count %zu",
+              name().c_str(), installs, installsQueued_);
 }
 
 void
@@ -131,6 +177,7 @@ Scheduler::attachFpcs(std::vector<Fpc *> fpcs)
     f4t_assert(!fpcs_.empty(), "%s: no FPCs attached", name().c_str());
     f4t_assert(fpcs_.size() <= 255, "location LUT encodes FPC index in "
                "8 bits");
+    installQueues_.resize(fpcs_.size());
     for (Fpc *fpc : fpcs_) {
         fpc->setEvictSink(
             [this](MigratingTcb &&leaving) { onEvicted(std::move(leaving)); });
@@ -377,7 +424,8 @@ Scheduler::onEvicted(MigratingTcb &&leaving)
         });
     } else {
         it->second.inTransit = std::move(leaving);
-        installReady_.push_back(flow);
+        installQueues_[it->second.destFpc].push_back(flow);
+        ++installsQueued_;
         activate();
     }
 }
@@ -457,37 +505,43 @@ Scheduler::onExtracted(MigratingTcb &&incoming)
                "that is not moving", flow);
     it->second.extractPending = false;
     it->second.inTransit = std::move(incoming);
-    installReady_.push_back(flow);
+    installQueues_[it->second.destFpc].push_back(flow);
+    ++installsQueued_;
     activate();
 }
 
 void
 Scheduler::progressInstalls()
 {
-    for (std::size_t i = 0; i < installReady_.size();) {
-        tcp::FlowId flow = installReady_[i];
+    // Only the head of each destination's queue can move (the swap-in
+    // port takes one TCB per two cycles), so look no deeper than that.
+    for (std::size_t f = 0; f < installQueues_.size(); ++f) {
+        std::deque<tcp::FlowId> &ready = installQueues_[f];
+        if (ready.empty())
+            continue;
+        tcp::FlowId flow = ready.front();
         auto it = moving_.find(flow);
         f4t_assert(it != moving_.end() && it->second.inTransit,
                    "install-ready flow %u has no TCB in transit", flow);
-        Fpc *dest = fpcs_[it->second.destFpc];
+        f4t_assert(it->second.destFpc == f,
+                   "install queue %zu holds flow %u bound for fpc%u",
+                   f, flow, it->second.destFpc);
+        Fpc *dest = fpcs_[f];
 
         if (dest->full()) {
-            makeRoom(it->second.destFpc);
-            ++i;
+            makeRoom(f);
             continue;
         }
-        if (!dest->canAcceptTcb()) {
-            ++i;
+        if (!dest->canAcceptTcb())
             continue;
-        }
         dest->installTcb(*it->second.inTransit);
         lut(flow) = Location{Location::Kind::fpc, it->second.destFpc};
         sim::Tick started = it->second.startedAt;
         moving_.erase(it);
         ++migrations_;
         noteMigrationDone(flow, "->fpc", started);
-        installReady_.erase(installReady_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
+        ready.pop_front();
+        --installsQueued_;
     }
 }
 
@@ -501,21 +555,30 @@ Scheduler::tick()
     sim::Cycles cycle = curCycle();
 
     // Finish migrations whose TCB is waiting for the swap-in port.
-    if (!installReady_.empty())
+    if (installsQueued_ > 0)
         progressInstalls();
 
-    // Retry pended events whose wait elapsed (12-cycle retry).
-    std::size_t pending_count = pendingQueue_.size();
-    for (std::size_t i = 0; i < pending_count; ++i) {
+    // Retry pended events whose wait elapsed (12-cycle retry). Every
+    // append carries cycle + retryCycles with a nondecreasing cycle,
+    // so the queue is sorted by retry cycle: only the matured prefix
+    // needs visiting, and a failed retry re-appends at the back with
+    // a retry cycle no smaller than anything still queued.
+    std::size_t matured = 0;
+    for (const PendingEntry &pe : pendingQueue_) {
+        if (pe.retryCycle > cycle)
+            break;
+        ++matured;
+    }
+    for (std::size_t i = 0; i < matured; ++i) {
         PendingEntry entry = std::move(pendingQueue_.front());
         pendingQueue_.pop_front();
-        if (entry.retryCycle > cycle) {
-            pendingQueue_.push_back(std::move(entry));
-            continue;
-        }
         if (!routeEvent(entry.event)) {
             entry.retryCycle = cycle + config_.pendingRetryCycles;
             pendingQueue_.push_back(std::move(entry));
+        } else {
+            auto it = pendedCount_.find(entry.event.flow);
+            if (it != pendedCount_.end() && --it->second == 0)
+                pendedCount_.erase(it);
         }
     }
 
@@ -534,15 +597,10 @@ Scheduler::tick()
             Location::Kind kind = lut(event.flow).kind;
             // Events of a flow with older pended events must queue
             // behind them to preserve per-flow ordering.
-            bool behind_pended = false;
-            for (const PendingEntry &pe : pendingQueue_) {
-                if (pe.event.flow == event.flow) {
-                    behind_pended = true;
-                    break;
-                }
-            }
+            bool behind_pended = pendedCount_.count(event.flow) != 0;
             if (kind == Location::Kind::moving || behind_pended) {
                 ++eventsPended_;
+                ++pendedCount_[event.flow];
                 pendingQueue_.push_back(PendingEntry{
                     event, cycle + config_.pendingRetryCycles});
                 fifos_[f].pop_front();
@@ -560,10 +618,24 @@ Scheduler::tick()
             break;
     }
 
-    bool busy = !pendingQueue_.empty() || !installReady_.empty();
+    bool fifos_busy = installsQueued_ > 0;
     for (const auto &fifo : fifos_)
-        busy = busy || !fifo.empty();
-    return busy;
+        fifos_busy = fifos_busy || !fifo.empty();
+    if (fifos_busy)
+        return true;
+
+    // Only pended events remain and none matures before its 12-cycle
+    // retry point: nap until the earliest one instead of ticking every
+    // cycle. submitEvent()'s activate() cuts the nap short when new
+    // traffic arrives.
+    if (!pendingQueue_.empty()) {
+        // Sorted queue: the front entry matures first.
+        sim::Cycles earliest = pendingQueue_.front().retryCycle;
+        if (earliest <= cycle + 1)
+            return true;
+        activateAt(earliest);
+    }
+    return false;
 }
 
 } // namespace f4t::core

@@ -176,8 +176,18 @@ class Scheduler : public sim::ClockedObject
     std::vector<std::deque<tcp::TcpEvent>> fifos_;
     std::size_t nextFifo_ = 0;
     std::deque<PendingEntry> pendingQueue_;
+    /** Pended events per flow: O(1) "must queue behind pended work"
+     *  test on the route path (the queue can grow to thousands of
+     *  entries at many-connection scale; scanning it per routed event
+     *  dominated the host profile). */
+    std::unordered_map<tcp::FlowId, std::uint32_t> pendedCount_;
     std::unordered_map<tcp::FlowId, MoveState> moving_;
-    std::vector<tcp::FlowId> installReady_;
+    /** Install-ready flows, queued per destination FPC. Each FPC's
+     *  swap-in port takes one TCB per two cycles, so only the head of
+     *  each queue can ever make progress in a tick — per-FPC queues
+     *  make progressInstalls O(#FPCs) instead of O(stuck installs). */
+    std::vector<std::deque<tcp::FlowId>> installQueues_;
+    std::size_t installsQueued_ = 0;
 
     sim::Counter eventsRouted_;
     sim::Counter eventsCoalesced_;

@@ -51,7 +51,17 @@ F4tRuntime::submitCommand(std::size_t q, const host::Command &command,
         core.charge(tcp::CostCategory::f4tLibrary, 2300.0);
     }
 
+    // One MMIO doorbell covers every command pushed before it lands:
+    // the engine drains the SQ until empty once woken, so back-to-back
+    // submits while a doorbell is in flight need no further MMIO. The
+    // flag clears before onDoorbell reads the ring, so a push can
+    // never slip between the drain and the re-arm unseen.
+    QueueClient &client = clients_.at(q);
+    if (client.doorbellArmed)
+        return;
+    client.doorbellArmed = true;
     engine_.pcie().mmioDoorbell([this, q] {
+        clients_.at(q).doorbellArmed = false;
         engine_.hostInterface().onDoorbell(q);
     });
 }

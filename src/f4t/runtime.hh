@@ -71,6 +71,8 @@ class F4tRuntime : public sim::SimObject
         CompletionHandler handler;
         host::CpuCore *core = nullptr;
         bool pollScheduled = false;
+        /** An MMIO doorbell is in flight; further submits ride it. */
+        bool doorbellArmed = false;
     };
     std::vector<QueueClient> clients_;
 

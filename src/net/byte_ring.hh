@@ -11,7 +11,9 @@
 #ifndef F4T_NET_BYTE_RING_HH
 #define F4T_NET_BYTE_RING_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -57,8 +59,7 @@ class ByteRing
     {
         std::size_t n = bytes.size() < freeSpace() ? bytes.size()
                                                    : freeSpace();
-        for (std::size_t i = 0; i < n; ++i)
-            data_[(end_ + i) % capacity()] = bytes[i];
+        copyIn(end_, bytes.first(n));
         end_ += n;
         return n;
     }
@@ -77,8 +78,7 @@ class ByteRing
                    static_cast<unsigned long long>(base_));
         f4t_assert(offset + bytes.size() <= base_ + capacity(),
                    "ring write past capacity");
-        for (std::size_t i = 0; i < bytes.size(); ++i)
-            data_[(offset + i) % capacity()] = bytes[i];
+        copyIn(offset, bytes);
         if (offset + bytes.size() > end_)
             end_ = offset + bytes.size();
     }
@@ -92,8 +92,14 @@ class ByteRing
                    static_cast<unsigned long long>(offset), out.size(),
                    static_cast<unsigned long long>(base_),
                    static_cast<unsigned long long>(end_));
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] = data_[(offset + i) % capacity()];
+        if (out.empty())
+            return;
+        std::size_t pos = static_cast<std::size_t>(offset % capacity());
+        std::size_t head = std::min(out.size(), capacity() - pos);
+        std::memcpy(out.data(), data_.data() + pos, head);
+        if (head < out.size())
+            std::memcpy(out.data() + head, data_.data(),
+                        out.size() - head);
     }
 
     /** Release @p n bytes from the front (acknowledged / consumed). */
@@ -106,6 +112,20 @@ class ByteRing
     }
 
   private:
+    /** Wrap-aware block copy into the ring (at most two memcpys). */
+    void
+    copyIn(std::uint64_t offset, std::span<const std::uint8_t> bytes)
+    {
+        if (bytes.empty())
+            return;
+        std::size_t pos = static_cast<std::size_t>(offset % capacity());
+        std::size_t head = std::min(bytes.size(), capacity() - pos);
+        std::memcpy(data_.data() + pos, bytes.data(), head);
+        if (head < bytes.size())
+            std::memcpy(data_.data(), bytes.data() + head,
+                        bytes.size() - head);
+    }
+
     std::vector<std::uint8_t> data_;
     std::uint64_t base_;
     std::uint64_t end_;

@@ -64,23 +64,35 @@ class CuckooHashTable
         }
 
         Entry incoming{key, value, true};
-        std::vector<Entry *> kick_chain;
-        kick_chain.reserve(maxKicks_);
+        // Fixed-size chain record: the hot insert path must not touch
+        // the allocator even when it has to kick.
+        std::array<Entry *, maxKicks_> kick_chain;
+        std::size_t kicks = 0;
         for (std::size_t attempt = 0; attempt < maxKicks_; ++attempt) {
             std::size_t way = attempt % 2;
-            Bucket &bucket = bucketFor(way, incoming.key);
-            for (Entry &slot : bucket) {
-                if (!slot.occupied) {
-                    slot = incoming;
-                    ++size_;
-                    return true;
+            // Probe BOTH candidate buckets for a free slot before
+            // displacing anyone. Kicking from one way while the
+            // other still has room sends inserts on needless cuckoo
+            // walks at high load factor — long chains, early stash
+            // spill, and spurious insert failures well below nominal
+            // capacity.
+            for (std::size_t probe = 0; probe < 2; ++probe) {
+                Bucket &bucket =
+                    bucketFor((way + probe) % 2, incoming.key);
+                for (Entry &slot : bucket) {
+                    if (!slot.occupied) {
+                        slot = incoming;
+                        ++size_;
+                        return true;
+                    }
                 }
             }
             // Displace the slot chosen by the attempt counter so the
             // cuckoo path cannot ping-pong between two victims.
+            Bucket &bucket = bucketFor(way, incoming.key);
             Entry &victim = bucket[attempt % slotsPerBucket];
             std::swap(incoming, victim);
-            kick_chain.push_back(&victim);
+            kick_chain[kicks++] = &victim;
         }
 
         for (Entry &slot : stash_) {
@@ -94,8 +106,8 @@ class CuckooHashTable
         // Roll back the displacement chain so no resident entry is
         // lost; only the new key fails to insert. Reversing the swaps
         // in order restores every victim to its original slot.
-        for (auto it = kick_chain.rbegin(); it != kick_chain.rend(); ++it)
-            std::swap(incoming, **it);
+        while (kicks > 0)
+            std::swap(incoming, *kick_chain[--kicks]);
         return false;
     }
 

@@ -4,12 +4,27 @@
 #include "sim/causal_trace.hh"
 #include "sim/trace.hh"
 
+#include <algorithm>
+
 namespace f4t::net
 {
 
 namespace
 {
 std::function<void(Link &)> linkObserver;
+bool batchingEnabled = true;
+}
+
+bool
+datapathBatchingEnabled()
+{
+    return batchingEnabled;
+}
+
+void
+setDatapathBatching(bool enabled)
+{
+    batchingEnabled = enabled;
 }
 
 void
@@ -45,22 +60,27 @@ LinkDirection::send(Packet &&pkt)
 {
     if (tap_)
         tap_(pkt);
+    // The batched TX path hands packets over before their modeled
+    // emission tick; everything timed below uses the readiness stamp,
+    // never the (possibly earlier) host-event time of this call.
+    sim::Tick ready =
+        std::max(now(), static_cast<sim::Tick>(pkt.txReady));
     // Capture before fault injection: the pcap shows what the sender
     // put on the wire, the sidecar notes what the cable did to it.
     std::size_t pcap_record = 0;
     if (pcap_ != nullptr)
-        pcap_record = pcap_->record(now(), pkt, pcapLabel_);
+        pcap_record = pcap_->record(ready, pkt, pcapLabel_);
     ++packetsSent_;
     std::size_t wire_bytes = pkt.wireBytes();
     bytesSent_ += wire_bytes;
     F4T_TRACE(Link, "%s: send %zuB wire", name().c_str(), wire_bytes);
 
     // Serialization: the transmitter is busy for the wire time of this
-    // packet starting at max(now, busyUntil).
+    // packet starting at max(ready, busyUntil).
     double seconds =
         static_cast<double>(wire_bytes) * 8.0 / bandwidth_;
     sim::Tick tx_time = sim::secondsToTicks(seconds);
-    sim::Tick start = std::max(now(), busyUntil_);
+    sim::Tick start = std::max(ready, busyUntil_);
     busyUntil_ = start + tx_time;
     sim::Tick arrival = busyUntil_ + propagationDelay_;
 
@@ -74,7 +94,7 @@ LinkDirection::send(Packet &&pkt)
     }
 
     if (nextScheduledDrop_ < faults_.dropAtTicks.size() &&
-        now() >= faults_.dropAtTicks[nextScheduledDrop_]) {
+        ready >= faults_.dropAtTicks[nextScheduledDrop_]) {
         ++nextScheduledDrop_;
         ++packetsDropped_;
         F4T_TRACE(Link, "%s: scheduled drop", name().c_str());
@@ -135,10 +155,59 @@ LinkDirection::deliver(Packet &&pkt, sim::Tick when)
 {
     f4t_assert(sink_ != nullptr, "link '%s' has no sink attached",
                name().c_str());
-    queue().scheduleCallback(
-        when, "link.deliver", [this, p = std::move(pkt)]() mutable {
-            sink_->receivePacket(std::move(p));
-        });
+    if (!datapathBatchingEnabled()) {
+        // Per-packet reference path: one host event per delivery.
+        queue().scheduleCallback(
+            when, "link.deliver", [this, p = std::move(pkt)]() mutable {
+                sink_->receivePacket(std::move(p));
+            });
+        return;
+    }
+
+    // Batched path: queue the packet and fold back-to-back arrivals
+    // into one drain event. The drain may move later to swallow a
+    // whole wire train, but never more than maxBurstHold past the
+    // earliest queued arrival and never beyond maxBurst packets, and
+    // it may always move earlier; a packet is never delivered before
+    // its modeled arrival tick.
+    pending_.push_back(PendingDelivery{when, pushSeq_++, std::move(pkt)});
+    std::push_heap(pending_.begin(), pending_.end(), laterDelivery);
+    oldestPendingArrival_ = pending_.front().arrival;
+    if (!drainEvent_.scheduled()) {
+        queue().schedule(&drainEvent_, when);
+        return;
+    }
+    sim::Tick drain_at = drainEvent_.when();
+    if (when < drain_at)
+        queue().reschedule(&drainEvent_, when);
+    else if (when > drain_at && pending_.size() < maxBurst &&
+             when - oldestPendingArrival_ <= maxBurstHold)
+        queue().reschedule(&drainEvent_, when);
+}
+
+void
+LinkDirection::drainPending()
+{
+    sim::Tick due = now();
+    // Deliver in modeled arrival order; push order breaks ties so a
+    // same-tick duplicate follows its original. Heap pops yield exactly
+    // that order, and packets still in flight (reordered far future)
+    // stay put — a sink reacting by sending more traffic only pushes.
+    while (!pending_.empty() && pending_.front().arrival <= due) {
+        std::pop_heap(pending_.begin(), pending_.end(), laterDelivery);
+        Packet pkt = std::move(pending_.back().pkt);
+        pending_.pop_back();
+        sink_->receivePacket(std::move(pkt));
+    }
+
+    if (pending_.empty())
+        return;
+    sim::Tick earliest = pending_.front().arrival;
+    oldestPendingArrival_ = earliest;
+    if (!drainEvent_.scheduled())
+        queue().schedule(&drainEvent_, earliest);
+    else if (drainEvent_.when() > earliest)
+        queue().reschedule(&drainEvent_, earliest);
 }
 
 Link::Link(sim::Simulation &sim, std::string name,

@@ -38,6 +38,21 @@ class PacketSink
     virtual void receivePacket(Packet &&pkt) = 0;
 };
 
+/**
+ * Process-wide switch for the batched data path. When on (the
+ * default), the packet generator hands segments to the link
+ * synchronously (stamping Packet::txReady instead of scheduling one
+ * host event per segment) and each LinkDirection groups back-to-back
+ * arrivals into one bounded burst per delivery event. Wire timing —
+ * serialization start, busy time, arrival tick — is computed
+ * identically in both modes; only host-event interleaving (and thus
+ * delivery callback timing within the burst-hold window) differs.
+ * The differential fuzz tests run both modes and require byte-exact
+ * stream agreement.
+ */
+bool datapathBatchingEnabled();
+void setDatapathBatching(bool enabled);
+
 /** Probabilistic packet perturbation. All probabilities default to 0. */
 struct FaultModel
 {
@@ -102,9 +117,41 @@ class LinkDirection : public sim::SimObject
 
     double bandwidthBitsPerSec() const { return bandwidth_; }
 
+    /** Packets one drain event may hand to the sink (burst bound). */
+    static constexpr std::size_t maxBurst = 16;
+    /** Longest a due packet may wait for trailing burst members. */
+    static constexpr sim::Tick maxBurstHold = sim::nanosecondsToTicks(600);
+
   private:
     void deliver(Packet &&pkt, sim::Tick when);
+    void drainPending();
     void noteFault(const char *kind);
+
+    struct DrainEvent : public sim::Event
+    {
+        explicit DrainEvent(LinkDirection &owner) : owner_(owner) {}
+        void process() override { owner_.drainPending(); }
+        std::string description() const override
+        {
+            return owner_.name() + ".deliver";
+        }
+        LinkDirection &owner_;
+    };
+
+    struct PendingDelivery
+    {
+        sim::Tick arrival = 0;
+        std::uint64_t seq = 0; ///< push order; ties on arrival keep it
+        Packet pkt;
+    };
+
+    /** Min-heap order on (arrival, push seq) for the std heap calls. */
+    static bool
+    laterDelivery(const PendingDelivery &a, const PendingDelivery &b)
+    {
+        return a.arrival != b.arrival ? a.arrival > b.arrival
+                                      : a.seq > b.seq;
+    }
 
     PacketSink *sink_ = nullptr;
     Tap tap_;
@@ -116,6 +163,14 @@ class LinkDirection : public sim::SimObject
     FaultModel faults_;
     std::size_t nextScheduledDrop_ = 0;
     sim::Random rng_;
+
+    DrainEvent drainEvent_{*this};
+    /** Min-heap on (arrival, seq): a drain pops only matured packets,
+     *  so far-future deliveries are never re-sorted (under fan-in the
+     *  shared wire stretches arrivals far past the drain tick). */
+    std::vector<PendingDelivery> pending_;
+    std::uint64_t pushSeq_ = 0;
+    sim::Tick oldestPendingArrival_ = 0;
 
     sim::Counter packetsSent_;
     sim::Counter packetsDropped_;

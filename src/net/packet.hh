@@ -52,6 +52,14 @@ struct Packet
      *  fast path, which every world uses, preserves causality. */
     [[no_unique_address]] sim::ctrace::Token trace;
 
+    /** Earliest tick this packet may start serializing on the wire.
+     *  Metadata, not wire content: the batched TX path hands packets to
+     *  the link synchronously and stamps the modeled readiness here
+     *  instead of scheduling one host event per segment; the link takes
+     *  max(now, txReady, transmitter busy) as the serialization start,
+     *  so wire timing matches the event-per-packet path exactly. */
+    std::uint64_t txReady = 0;
+
     bool isTcp() const { return std::holds_alternative<TcpHeader>(l4); }
     bool isIcmp() const { return std::holds_alternative<IcmpMessage>(l4); }
     bool isArp() const { return std::holds_alternative<ArpMessage>(l4); }

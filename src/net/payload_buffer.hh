@@ -33,6 +33,8 @@
 #include <initializer_list>
 #include <vector>
 
+#include "sim/check.hh"
+
 namespace f4t::net
 {
 
@@ -94,6 +96,7 @@ class PayloadBuffer
 
     PayloadBuffer(const PayloadBuffer &other)
     {
+        notePayloadCopy(other.size());
         assign(other.data(), other.size());
     }
 
@@ -105,8 +108,10 @@ class PayloadBuffer
     PayloadBuffer &
     operator=(const PayloadBuffer &other)
     {
-        if (this != &other)
+        if (this != &other) {
+            notePayloadCopy(other.size());
             assign(other.data(), other.size());
+        }
         return *this;
     }
 
@@ -186,7 +191,36 @@ class PayloadBuffer
         return std::equal(a.begin(), a.end(), b.begin(), b.end());
     }
 
+    // --- copy accounting (checks builds only) ---------------------------
+    //
+    // A packet should move through the pipeline by transferring its
+    // pooled buffer, never by duplicating bytes. The counter makes the
+    // claim testable: the clean bulk-transfer regression test asserts
+    // it stays at zero; fault injection (packet duplication) and
+    // deliberate harness copies are the only legitimate increments.
+
+    /** Byte-copying PayloadBuffer copies since the last reset.
+     *  Always 0 in checks-off builds. */
+    static std::uint64_t
+    copiesObserved()
+    {
+        return copyCount_;
+    }
+
+    static void resetCopyCount() { copyCount_ = 0; }
+
   private:
+    static void
+    notePayloadCopy(std::size_t size)
+    {
+        if constexpr (sim::checksEnabled) {
+            if (size > 0)
+                ++copyCount_;
+        }
+    }
+
+    static inline std::uint64_t copyCount_ = 0;
+
     void
     releaseStorage()
     {

@@ -288,12 +288,20 @@ class ClockedObject : public SimObject
     ClockDomain &clock() { return domain_; }
     Cycles curCycle() const { return domain_.curCycle(); }
 
-    /** Ensure a tick is scheduled for the next clock edge. */
+    /**
+     * Ensure a tick is scheduled for the next clock edge. An object
+     * that parked itself further out with activateAt() is pulled back
+     * in: activate() is the "new work arrived" signal and must always
+     * win over a fast-forward nap.
+     */
     void
     activate()
     {
+        Tick edge = domain_.clockEdge();
         if (!tickEvent_.scheduled())
-            queue().schedule(&tickEvent_, domain_.clockEdge());
+            queue().schedule(&tickEvent_, edge);
+        else if (tickEvent_.when() > edge)
+            queue().reschedule(&tickEvent_, edge);
     }
 
     bool active() const { return tickEvent_.scheduled(); }
@@ -301,6 +309,21 @@ class ClockedObject : public SimObject
   protected:
     /** @return true to tick again on the next edge. */
     virtual bool tick() = 0;
+
+    /**
+     * Park the object until @p cycle (a fast-forward nap): tick() may
+     * call this and return false when it can prove no earlier cycle
+     * has work. Any activate() before then wakes it at the next edge.
+     */
+    void
+    activateAt(Cycles cycle)
+    {
+        Tick when = domain_.cyclesToTicks(cycle);
+        if (!tickEvent_.scheduled())
+            queue().schedule(&tickEvent_, when);
+        else
+            queue().reschedule(&tickEvent_, when);
+    }
 
   private:
     struct TickEvent : public Event
@@ -314,12 +337,20 @@ class ClockedObject : public SimObject
         {
             // This event only ever fires on a clock edge, so the next
             // edge is one period ahead of the fire tick — no need for
-            // activate()'s general clockEdge() computation, and the
-            // event is known to be unscheduled right now.
+            // activate()'s general clockEdge() computation. tick() may
+            // have re-armed the event itself via activateAt() (a
+            // fast-forward nap), so only schedule here when it has not,
+            // and never leave a nap pending past the next edge when
+            // tick() asked to run again.
             Tick fired_at = when();
-            if (owner_.tick())
-                owner_.queue().schedule(this,
-                                        fired_at + owner_.domain_.period());
+            bool again = owner_.tick();
+            if (!again)
+                return;
+            Tick next = fired_at + owner_.domain_.period();
+            if (!scheduled())
+                owner_.queue().schedule(this, next);
+            else if (when() > next)
+                owner_.queue().reschedule(this, next);
         }
 
         std::string

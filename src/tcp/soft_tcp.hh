@@ -23,10 +23,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "net/byte_ring.hh"
 #include "net/four_tuple.hh"
@@ -243,10 +243,14 @@ class SoftTcpStack : public sim::SimObject, public net::PacketSink
     SoftTcpCallbacks callbacks_;
     CycleAccountant *accountant_ = nullptr;
 
-    std::map<std::uint32_t, net::MacAddress> arpTable_;
-    std::set<std::uint16_t> listeningPorts_;
-    std::map<net::FourTuple, SoftConnId> connByTuple_;
-    std::map<SoftConnId, std::unique_ptr<Conn>> conns_;
+    // Hash-based tables on the per-packet path (none is ever iterated,
+    // so no observable ordering depends on the container; demux is the
+    // per-segment O(1) lookup a real stack would do against its
+    // connection hash).
+    std::unordered_map<std::uint32_t, net::MacAddress> arpTable_;
+    std::unordered_set<std::uint16_t> listeningPorts_;
+    std::unordered_map<net::FourTuple, SoftConnId> connByTuple_;
+    std::unordered_map<SoftConnId, std::unique_ptr<Conn>> conns_;
     SoftConnId nextConnId_ = 1;
     std::uint16_t nextEphemeralPort_ = 32768;
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Batched-vs-reference data-path differential corpus.
+ *
+ * The batched pipeline (burst link delivery, synchronous TX hand-off)
+ * is allowed to change host-event interleaving, but it must never
+ * change what applications observe. Every corpus seed — fault
+ * injection included — runs on the full FtEngine pair twice: once with
+ * data-path batching enabled (the default) and once on the per-packet
+ * reference path. Both runs must complete, pass the byte-stream
+ * oracle, and produce identical ledger digests and delivered byte
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/link.hh"
+
+#include "fuzz_runner.hh"
+
+namespace
+{
+
+using namespace f4t;
+using namespace f4t::fuzz;
+
+/** Scoped data-path batching toggle (restores the prior setting). */
+struct BatchingMode
+{
+    explicit BatchingMode(bool on) : saved_(net::datapathBatchingEnabled())
+    {
+        net::setDatapathBatching(on);
+    }
+    ~BatchingMode() { net::setDatapathBatching(saved_); }
+    bool saved_;
+};
+
+void
+runBatchingCorpus(std::uint64_t first_seed, std::uint64_t count)
+{
+    for (std::uint64_t seed = first_seed; seed < first_seed + count;
+         ++seed) {
+        Scenario sc = Scenario::fromSeed(seed);
+        ASSERT_TRUE(hasFaults(sc.faultsAtoB) || hasFaults(sc.faultsBtoA))
+            << "corpus seed " << seed << " lost its fault injection";
+
+        RunResult batched, reference;
+        {
+            BatchingMode mode(true);
+            batched = runScenario(WorldKind::enginePair, sc);
+        }
+        {
+            BatchingMode mode(false);
+            reference = runScenario(WorldKind::enginePair, sc);
+        }
+
+        EXPECT_TRUE(batched.ok())
+            << "batched run failed; reproduce with: fuzz_sweep " << seed
+            << " 1\n" << batched.failureReport;
+        EXPECT_TRUE(reference.ok())
+            << "reference run failed; reproduce with: fuzz_sweep " << seed
+            << " 1\n" << reference.failureReport;
+        EXPECT_EQ(batched.ledgerDigest, reference.ledgerDigest)
+            << "seed " << seed << ": batched data path changed the "
+            << "application-visible byte streams\n  " << sc.describe();
+        EXPECT_EQ(batched.deliveredBytes, reference.deliveredBytes)
+            << "seed " << seed << "\n  " << sc.describe();
+        EXPECT_GT(batched.deliveredBytes, 0u) << "seed " << seed;
+    }
+}
+
+// Same 24-seed corpus as the smoke differential, sliced for ctest
+// parallelism.
+TEST(BatchingDifferential, CorpusSlice0) { runBatchingCorpus(1, 6); }
+TEST(BatchingDifferential, CorpusSlice1) { runBatchingCorpus(7, 6); }
+TEST(BatchingDifferential, CorpusSlice2) { runBatchingCorpus(13, 6); }
+TEST(BatchingDifferential, CorpusSlice3) { runBatchingCorpus(19, 6); }
+
+} // namespace

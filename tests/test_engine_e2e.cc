@@ -9,6 +9,8 @@
 
 #include "apps/workloads.hh"
 #include "harness.hh"
+#include "net/payload_buffer.hh"
+#include "sim/check.hh"
 
 namespace f4t
 {
@@ -74,6 +76,42 @@ TEST(EngineE2E, EnginePairBulkTransferIntegrity)
     EXPECT_GT(sender.bytesSent(), 10'000u);
     EXPECT_GT(sink.bytesReceived(), 10'000u);
     EXPECT_EQ(sink.patternErrors(), 0u);
+}
+
+TEST(EngineE2E, CleanBulkTransferMakesNoPayloadCopies)
+{
+    // Payloads must move through the pipeline by transferring their
+    // pooled buffer, never by duplicating bytes. On a fault-free bulk
+    // transfer the checks-build copy counter therefore stays at zero;
+    // any regression that reintroduces a hot-path copy (pass-by-value,
+    // defensive duplication) trips this immediately.
+    if constexpr (!sim::checksEnabled)
+        GTEST_SKIP() << "copy accounting is compiled out in this build";
+
+    core::EngineConfig config;
+    config.numFpcs = 2;
+    config.flowsPerFpc = 32;
+    config.maxFlows = 1024;
+    EnginePairWorld world(1, config);
+
+    auto server_api = world.apiB(0);
+    apps::BulkSinkConfig sink_config;
+    sink_config.verifyPattern = true;
+    apps::BulkSinkApp sink(server_api, sink_config);
+    sink.start();
+
+    auto client_api = world.apiA(0);
+    apps::BulkSenderConfig sender_config;
+    sender_config.peer = test::ipB();
+    sender_config.requestBytes = 128;
+    apps::BulkSenderApp sender(client_api, sender_config);
+    sender.start();
+
+    net::PayloadBuffer::resetCopyCount();
+    world.sim.runFor(sim::secondsToTicks(0.002));
+
+    EXPECT_GT(sink.bytesReceived(), 10'000u);
+    EXPECT_EQ(net::PayloadBuffer::copiesObserved(), 0u);
 }
 
 TEST(EngineE2E, EngineInteroperatesWithSoftwareTcp)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -284,8 +285,13 @@ class PacketGeneratorTest : public ::testing::Test
                                MacAddress{}, MacAddress{}};
         });
         generator.setTransmit([this](Packet &&pkt) {
+            // The batched TX path hands segments over early with the
+            // modeled emission tick stamped in txReady; record the
+            // effective emission time so the pacing assertions hold in
+            // both modes.
+            sendTimes.push_back(
+                std::max(sim.now(), static_cast<sim::Tick>(pkt.txReady)));
             sent.push_back(std::move(pkt));
-            sendTimes.push_back(sim.now());
         });
     }
 
