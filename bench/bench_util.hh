@@ -35,12 +35,15 @@ namespace f4t::bench
  * Stamp a hand-rolled BENCH_*.json writer with the run's identity
  * (git SHA, build preset, feature gates, wall timestamp) so f4t_report
  * can refuse apples-to-oranges comparisons. Emits a `"meta": {...}`
- * member with no trailing comma.
+ * member with no trailing comma. @p threads records how many worker
+ * threads drove the simulation (informational; 1 = serial kernel).
  */
 inline void
-writeRunMeta(std::FILE *out, int indent)
+writeRunMeta(std::FILE *out, int indent, unsigned threads = 1)
 {
-    obs::writeMetaJson(out, obs::currentRunMeta(), indent);
+    obs::RunMeta meta = obs::currentRunMeta();
+    meta.threads = threads;
+    obs::writeMetaJson(out, meta, indent);
 }
 
 /** Print the standard figure banner. */

@@ -13,16 +13,27 @@
  * lookup over a huge working set, burst link delivery, and TCB
  * migration far past the SRAM-resident population.
  *
+ * The same workload also runs on the partitioned parallel kernel
+ * (sim/parallel.hh): each endpoint in its own Simulation, advanced by
+ * a ParallelExecutor at --threads workers. Scenarios are named
+ * many_flows (serial oracle) and many_flows_tN (parallel, N workers);
+ * all many_flows_tN fingerprints must match each other exactly (the
+ * worker count may not leak into simulated behavior — checked at the
+ * end of every run, --smoke included).
+ *
  * Output: a human-readable summary plus a JSON file (default
  * BENCH_datapath.json) with the same schema perf_kernel emits
- * ({"bench": "datapath", "schema": 2, meta, scenarios[]}), gated in CI
- * by f4t_report against bench/baselines/BENCH_datapath.json.
+ * ({"bench": "datapath", "schema": 3, meta, scenarios[]}), gated in CI
+ * by f4t_report against bench/baselines/BENCH_datapath.json. Schema 3
+ * adds per-scenario "threads" and the per-flow throughput metric
+ * "sim_pkts_per_wall_sec_per_flow" (gated: it contains "per_wall").
  *
  * "fingerprint" hashes simulated quantities only (ticks, packet and
  * byte counts, round trips): it must be identical across presets and
  * may only change when modeled behavior legitimately changes.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +42,7 @@
 #include <vector>
 
 #include "apps/testbed.hh"
+#include "apps/testbed_parallel.hh"
 #include "apps/workloads.hh"
 #include "bench_util.hh"
 #include "sim/simulation.hh"
@@ -52,6 +64,8 @@ struct ScenarioResult
     std::uint64_t flows = 0;
     std::uint64_t roundTrips = 0;
     std::uint64_t fingerprint = 0;
+    /** Worker threads driving the kernel (1 = serial event loop). */
+    std::uint64_t threads = 1;
 
     double
     hostEventsPerSec() const
@@ -63,6 +77,13 @@ struct ScenarioResult
     simPacketsPerWallSec() const
     {
         return wallSeconds > 0 ? simPackets / wallSeconds : 0;
+    }
+
+    /** The gated scaling metric: throughput normalized by flow count. */
+    double
+    simPacketsPerWallSecPerFlow() const
+    {
+        return flows > 0 ? simPacketsPerWallSec() / flows : 0;
     }
 };
 
@@ -192,6 +213,112 @@ runManyFlows(std::size_t flows, sim::Tick warmup, sim::Tick window)
     return result;
 }
 
+/**
+ * The same workload on the partitioned kernel: endpoint A and
+ * endpoint B each in their own Simulation, cabled by a SplitLink whose
+ * 500 ns propagation delay is the conservative lookahead, advanced by
+ * a ParallelExecutor at @p threads workers. The fingerprint mixes the
+ * same simulated quantities in the same order as runManyFlows; it is
+ * required to be invariant under @p threads (checked in main), while
+ * application-level byte-exactness against the serial oracle is the
+ * differential fuzzer's job.
+ */
+ScenarioResult
+runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
+                     std::size_t threads)
+{
+    core::EngineConfig config;
+    config.numFpcs = 8;
+    config.flowsPerFpc = 128;
+    config.maxFlows = 32768;
+    config.tcpBufferBytes = 8 * 1024;
+    testbed::ParallelEnginePairWorld world(2 * threadsPerSide, config, {},
+                                           100e9, {},
+                                           sim::nanosecondsToTicks(500),
+                                           threads);
+
+    // Echo servers on both engines (queues 0..threadsPerSide-1), then
+    // clients on the next threadsPerSide queues — the same layout as
+    // the serial harness, except every endpoint-A app binds to simA
+    // and every endpoint-B app to simB.
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> server_apis;
+    std::vector<std::unique_ptr<apps::EchoServerApp>> servers;
+    for (std::size_t i = 0; i < threadsPerSide; ++i) {
+        server_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.simA, *world.runtimeA, i, world.cpuA->core(i)));
+        server_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+            world.simB, *world.runtimeB, i, world.cpuB->core(i)));
+        apps::EchoServerConfig server_config;
+        servers.push_back(std::make_unique<apps::EchoServerApp>(
+            *server_apis[server_apis.size() - 2], server_config));
+        servers.back()->start();
+        servers.push_back(std::make_unique<apps::EchoServerApp>(
+            *server_apis.back(), server_config));
+        servers.back()->start();
+    }
+    world.runFor(sim::microsecondsToTicks(20));
+
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> client_apis;
+    std::vector<std::unique_ptr<apps::EchoClientApp>> clients;
+    std::size_t flows_per_thread = flows / (2 * threadsPerSide);
+    for (std::size_t i = 0; i < threadsPerSide; ++i) {
+        std::size_t q = threadsPerSide + i;
+        for (int side = 0; side < 2; ++side) {
+            client_apis.push_back(std::make_unique<apps::F4tSocketApi>(
+                side == 0 ? world.simA : world.simB,
+                side == 0 ? *world.runtimeA : *world.runtimeB, q,
+                side == 0 ? world.cpuA->core(q) : world.cpuB->core(q)));
+            apps::EchoClientConfig client_config;
+            client_config.peer =
+                side == 0 ? testbed::ipB() : testbed::ipA();
+            client_config.flows = flows_per_thread;
+            client_config.connectSpacing = sim::nanosecondsToTicks(100);
+            clients.push_back(std::make_unique<apps::EchoClientApp>(
+                *client_apis.back(), nullptr, client_config));
+            clients.back()->start();
+        }
+    }
+
+    world.runFor(warmup);
+
+    std::uint64_t events_before = world.executor.eventsProcessed();
+    std::uint64_t packets_before = world.link->aToB().packetsSent() +
+                                   world.link->bToA().packetsSent();
+    std::uint64_t trips_before = 0;
+    for (auto &client : clients)
+        trips_before += client->roundTrips();
+
+    auto start = std::chrono::steady_clock::now();
+    world.runFor(window);
+
+    ScenarioResult result;
+    result.name = "many_flows_t" + std::to_string(threads);
+    result.threads = threads;
+    result.wallSeconds = wallSince(start);
+    result.eventsProcessed =
+        world.executor.eventsProcessed() - events_before;
+    result.simTicks = world.now();
+    result.simPackets = world.link->aToB().packetsSent() +
+                        world.link->bToA().packetsSent() - packets_before;
+    std::uint64_t connected = 0, trips = 0;
+    for (auto &client : clients) {
+        connected += client->connectedFlows();
+        trips += client->roundTrips();
+    }
+    result.flows = connected;
+    result.roundTrips = trips - trips_before;
+
+    Fingerprint fp;
+    fp.mix(world.now());
+    fp.mix(result.simPackets);
+    fp.mix(connected);
+    fp.mix(trips);
+    fp.mix(world.link->aToB().bytesSent());
+    fp.mix(world.link->bToA().bytesSent());
+    result.fingerprint = fp.state;
+    return result;
+}
+
 void
 writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
 {
@@ -201,29 +328,38 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
                      path.c_str());
         return;
     }
-    std::fprintf(out, "{\n  \"bench\": \"datapath\",\n  \"schema\": 2,\n");
-    bench::writeRunMeta(out, 2);
+    unsigned max_threads = 1;
+    for (const ScenarioResult &r : results)
+        max_threads = std::max(max_threads, unsigned(r.threads));
+
+    std::fprintf(out, "{\n  \"bench\": \"datapath\",\n  \"schema\": 3,\n");
+    bench::writeRunMeta(out, 2, max_threads);
     std::fprintf(out, ",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult &r = results[i];
         std::fprintf(out,
                      "    {\n"
                      "      \"name\": \"%s\",\n"
+                     "      \"threads\": %llu,\n"
                      "      \"wall_seconds\": %.6f,\n"
                      "      \"host_events_per_sec\": %.1f,\n"
                      "      \"events_processed\": %llu,\n"
                      "      \"sim_ticks\": %llu,\n"
                      "      \"sim_packets\": %llu,\n"
                      "      \"sim_packets_per_wall_sec\": %.1f,\n"
+                     "      \"sim_pkts_per_wall_sec_per_flow\": %.3f,\n"
                      "      \"connected_flows\": %llu,\n"
                      "      \"round_trips\": %llu,\n"
                      "      \"fingerprint\": \"%016llx\"\n"
                      "    }%s\n",
-                     r.name.c_str(), r.wallSeconds, r.hostEventsPerSec(),
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.threads),
+                     r.wallSeconds, r.hostEventsPerSec(),
                      static_cast<unsigned long long>(r.eventsProcessed),
                      static_cast<unsigned long long>(r.simTicks),
                      static_cast<unsigned long long>(r.simPackets),
                      r.simPacketsPerWallSec(),
+                     r.simPacketsPerWallSecPerFlow(),
                      static_cast<unsigned long long>(r.flows),
                      static_cast<unsigned long long>(r.roundTrips),
                      static_cast<unsigned long long>(r.fingerprint),
@@ -248,6 +384,7 @@ main(int argc, char **argv)
     // measurement configuration (10240 flows) is the committed
     // baseline CI gates against.
     std::size_t flows = 10240;
+    std::size_t threads = 4;
     sim::Tick warmup_us = 0; // 0 = derive from flow count below
     sim::Tick window_us = 200;
     std::string out_path = "BENCH_datapath.json";
@@ -259,6 +396,11 @@ main(int argc, char **argv)
             window_us = 20;
         } else if (std::strcmp(argv[i], "--flows") == 0 && i + 1 < argc) {
             flows = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = std::strtoull(argv[++i], nullptr, 10);
+            if (threads == 0)
+                threads = 1;
         } else if (std::strcmp(argv[i], "--warmup-us") == 0 &&
                    i + 1 < argc) {
             warmup_us = std::strtoull(argv[++i], nullptr, 10);
@@ -269,8 +411,8 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--flows N] [--warmup-us N]"
-                         " [--window-us N] [--out FILE]\n",
+                         "usage: %s [--smoke] [--flows N] [--threads N]"
+                         " [--warmup-us N] [--window-us N] [--out FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -289,23 +431,34 @@ main(int argc, char **argv)
 
     bench::banner("perf_datapath",
                   "wall-clock throughput at many-connection scale");
-    std::printf("flows=%zu warmup=%lluus window=%lluus\n\n", flows,
+    std::printf("flows=%zu threads=%zu warmup=%lluus window=%lluus\n\n",
+                flows, threads,
                 static_cast<unsigned long long>(warmup_us),
                 static_cast<unsigned long long>(window_us));
 
-    std::vector<ScenarioResult> results;
-    results.push_back(runManyFlows(flows,
-                                   sim::microsecondsToTicks(warmup_us),
-                                   sim::microsecondsToTicks(window_us)));
+    sim::Tick warmup = sim::microsecondsToTicks(warmup_us);
+    sim::Tick window = sim::microsecondsToTicks(window_us);
 
-    bench::Table table({"scenario", "flows", "wall s", "events",
+    // Serial oracle first, then the partitioned kernel — always at one
+    // worker (the determinism anchor the baseline tracks), and at
+    // --threads workers when that is more than one. --smoke therefore
+    // exercises both executors on every ctest run.
+    std::vector<ScenarioResult> results;
+    results.push_back(runManyFlows(flows, warmup, window));
+    results.push_back(runManyFlowsParallel(flows, warmup, window, 1));
+    if (threads > 1)
+        results.push_back(
+            runManyFlowsParallel(flows, warmup, window, threads));
+
+    bench::Table table({"scenario", "thr", "flows", "wall s", "events",
                         "Mev/s (host)", "sim pkts", "kpkt/s (host)",
                         "trips", "fingerprint"});
     for (const ScenarioResult &r : results) {
         char fp[32];
         std::snprintf(fp, sizeof(fp), "%016llx",
                       static_cast<unsigned long long>(r.fingerprint));
-        table.addRow({r.name, std::to_string(r.flows),
+        table.addRow({r.name, std::to_string(r.threads),
+                      std::to_string(r.flows),
                       bench::fmt("%.3f", r.wallSeconds),
                       std::to_string(r.eventsProcessed),
                       bench::fmt("%.2f", r.hostEventsPerSec() / 1e6),
@@ -314,6 +467,31 @@ main(int argc, char **argv)
                       std::to_string(r.roundTrips), fp});
     }
     table.print();
+
+    // Determinism cross-check: every parallel scenario ran the same
+    // partitioned world, so their fingerprints must agree bit-for-bit
+    // regardless of worker count. The serial scenario's fingerprint is
+    // *not* required to match: the split link cannot see a send until
+    // the window barrier, so the delivery port's burst folding may
+    // group host events differently than the same-sim link (the same
+    // equivalence class as the batching toggle). Application byte
+    // streams stay identical either way — that stronger property is
+    // what tests/fuzz/test_parallel_differential pins down.
+    for (std::size_t i = 2; i < results.size(); ++i) {
+        if (results[i].fingerprint != results[1].fingerprint) {
+            std::fprintf(stderr,
+                         "perf_datapath: FINGERPRINT MISMATCH: %s "
+                         "(%016llx) vs %s (%016llx) — worker count "
+                         "leaked into simulated behavior\n",
+                         results[i].name.c_str(),
+                         static_cast<unsigned long long>(
+                             results[i].fingerprint),
+                         results[1].name.c_str(),
+                         static_cast<unsigned long long>(
+                             results[1].fingerprint));
+            return 1;
+        }
+    }
 
     writeJson(out_path, results);
     std::printf("\nwrote %s\n", out_path.c_str());

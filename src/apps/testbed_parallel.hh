@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Partitioned two-node world for the parallel simulation kernel.
+ *
+ * ParallelEnginePairWorld is the multi-threaded counterpart of
+ * testbed.hh's EnginePairWorld: the same two FtEngine hosts and the
+ * same cable model, but each endpoint (engine + CPU complex + runtime)
+ * lives in its own sim::Simulation partition, the cable is a
+ * net::SplitLink whose propagation delay is the conservative
+ * lookahead, and a sim::ParallelExecutor advances the two partitions
+ * window-by-window — on one thread or several, with identical
+ * simulated results either way.
+ *
+ * The serial EnginePairWorld remains the determinism oracle: the
+ * parallel differential fuzzer runs the same scenario through both and
+ * requires byte-exact StreamOracle ledgers.
+ */
+
+#ifndef F4T_APPS_TESTBED_PARALLEL_HH
+#define F4T_APPS_TESTBED_PARALLEL_HH
+
+#include <memory>
+#include <optional>
+
+#include "apps/f4t_socket_api.hh"
+#include "apps/testbed.hh"
+#include "core/engine.hh"
+#include "f4t/runtime.hh"
+#include "host/cpu.hh"
+#include "net/split_link.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::testbed
+{
+
+/** SplitLink counterpart of makeLink() (same fault-model plumbing). */
+inline std::unique_ptr<net::SplitLink>
+makeSplitLink(sim::Simulation &sim_a, sim::Simulation &sim_b,
+              double bandwidth_bps, const net::FaultModel &faults,
+              const std::optional<net::FaultModel> &reverse_faults,
+              sim::Tick propagation_delay = sim::nanosecondsToTicks(500))
+{
+    if (reverse_faults) {
+        return std::make_unique<net::SplitLink>(
+            sim_a, sim_b, "link", bandwidth_bps, propagation_delay,
+            faults, *reverse_faults);
+    }
+    return std::make_unique<net::SplitLink>(
+        sim_a, sim_b, "link", bandwidth_bps, propagation_delay, faults);
+}
+
+/** Two FtEngines cabled together, one partition per endpoint. */
+struct ParallelEnginePairWorld
+{
+    explicit ParallelEnginePairWorld(
+        std::size_t cores_per_host = 1, core::EngineConfig base = {},
+        const net::FaultModel &faults = {}, double bandwidth_bps = 100e9,
+        const std::optional<net::FaultModel> &reverse_faults = {},
+        sim::Tick propagation_delay = sim::nanosecondsToTicks(500),
+        std::size_t threads = 0)
+        : executor(threads)
+    {
+        core::EngineConfig config_a = base;
+        config_a.ip = ipA();
+        config_a.mac = macA();
+        core::EngineConfig config_b = base;
+        config_b.ip = ipB();
+        config_b.mac = macB();
+
+        engineA = std::make_unique<core::FtEngine>(simA, "engineA",
+                                                   config_a);
+        engineB = std::make_unique<core::FtEngine>(simB, "engineB",
+                                                   config_b);
+        link = makeSplitLink(simA, simB, bandwidth_bps, faults,
+                             reverse_faults, propagation_delay);
+        link->connect(*engineA, *engineB);
+        engineA->setTransmit(
+            [this](net::Packet &&pkt) { link->aToB().send(std::move(pkt)); });
+        engineB->setTransmit(
+            [this](net::Packet &&pkt) { link->bToA().send(std::move(pkt)); });
+        engineA->addArpEntry(ipB(), macB());
+        engineB->addArpEntry(ipA(), macA());
+
+        cpuA = std::make_unique<host::CpuComplex>(simA, "cpuA",
+                                                  cores_per_host);
+        cpuB = std::make_unique<host::CpuComplex>(simB, "cpuB",
+                                                  cores_per_host);
+        runtimeA = std::make_unique<lib::F4tRuntime>(simA, "runtimeA",
+                                                     *engineA,
+                                                     cores_per_host);
+        runtimeB = std::make_unique<lib::F4tRuntime>(simB, "runtimeB",
+                                                     *engineB,
+                                                     cores_per_host);
+
+        executor.addPartition(simA, "endpointA");
+        executor.addPartition(simB, "endpointB");
+        link->registerChannels(executor);
+    }
+
+    apps::F4tSocketApi
+    apiA(std::size_t thread)
+    {
+        return apps::F4tSocketApi(simA, *runtimeA, thread,
+                                  cpuA->core(thread));
+    }
+
+    apps::F4tSocketApi
+    apiB(std::size_t thread)
+    {
+        return apps::F4tSocketApi(simB, *runtimeB, thread,
+                                  cpuB->core(thread));
+    }
+
+    /** Advance both partitions to @p limit (see ParallelExecutor::run). */
+    sim::Tick run(sim::Tick limit) { return executor.run(limit); }
+    sim::Tick runFor(sim::Tick d) { return executor.runFor(d); }
+    /** Last window barrier: both partitions have reached this tick. */
+    sim::Tick now() const { return executor.now(); }
+
+    sim::Simulation simA;
+    sim::Simulation simB;
+    sim::ParallelExecutor executor;
+    std::unique_ptr<core::FtEngine> engineA;
+    std::unique_ptr<core::FtEngine> engineB;
+    std::unique_ptr<net::SplitLink> link;
+    std::unique_ptr<host::CpuComplex> cpuA;
+    std::unique_ptr<host::CpuComplex> cpuB;
+    std::unique_ptr<lib::F4tRuntime> runtimeA;
+    std::unique_ptr<lib::F4tRuntime> runtimeB;
+};
+
+} // namespace f4t::testbed
+
+#endif // F4T_APPS_TESTBED_PARALLEL_HH

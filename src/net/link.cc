@@ -5,6 +5,7 @@
 #include "sim/trace.hh"
 
 #include <algorithm>
+#include <atomic>
 
 namespace f4t::net
 {
@@ -12,19 +13,22 @@ namespace f4t::net
 namespace
 {
 std::function<void(Link &)> linkObserver;
-bool batchingEnabled = true;
+/* Read from every partition worker; flipped only while the simulation
+ * is quiescent (test setup), but atomic so the flip itself is not a
+ * data race under tsan. */
+std::atomic<bool> batchingEnabled{true};
 }
 
 bool
 datapathBatchingEnabled()
 {
-    return batchingEnabled;
+    return batchingEnabled.load(std::memory_order_relaxed);
 }
 
 void
 setDatapathBatching(bool enabled)
 {
-    batchingEnabled = enabled;
+    batchingEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 void
@@ -40,6 +44,8 @@ LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
     : SimObject(sim, std::move(name)), bandwidth_(bandwidth_bits_per_sec),
       propagationDelay_(propagation_delay), faults_(faults),
       rng_(faults.seed),
+      localPort_(std::in_place, sim, this->name()),
+      target_(&*localPort_),
       packetsSent_(sim.stats(), statName("packetsSent"),
                    "packets accepted for transmission"),
       packetsDropped_(sim.stats(), statName("packetsDropped"),
@@ -52,6 +58,34 @@ LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
                  "wire bytes transmitted (incl. framing)")
 {
     f4t_assert(bandwidth_ > 0, "link '%s' needs positive bandwidth",
+               this->name().c_str());
+}
+
+LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
+                             double bandwidth_bits_per_sec,
+                             sim::Tick propagation_delay,
+                             const FaultModel &faults,
+                             DeliveryTarget &target)
+    : SimObject(sim, std::move(name)), bandwidth_(bandwidth_bits_per_sec),
+      propagationDelay_(propagation_delay), faults_(faults),
+      rng_(faults.seed),
+      target_(&target),
+      packetsSent_(sim.stats(), statName("packetsSent"),
+                   "packets accepted for transmission"),
+      packetsDropped_(sim.stats(), statName("packetsDropped"),
+                      "packets dropped by fault injection"),
+      packetsDuplicated_(sim.stats(), statName("packetsDuplicated"),
+                         "packets duplicated by fault injection"),
+      packetsReordered_(sim.stats(), statName("packetsReordered"),
+                        "packets delayed by fault injection"),
+      bytesSent_(sim.stats(), statName("bytesSent"),
+                 "wire bytes transmitted (incl. framing)")
+{
+    f4t_assert(bandwidth_ > 0, "link '%s' needs positive bandwidth",
+               this->name().c_str());
+    f4t_assert(propagationDelay_ > 0,
+               "split link '%s' needs positive propagation delay "
+               "(it is the conservative lookahead)",
                this->name().c_str());
 }
 
@@ -121,7 +155,8 @@ LinkDirection::send(Packet &&pkt)
             pcap_->annotate(pcap_record, "duplicate");
         noteFault("duplicate");
         Packet copy = pkt;
-        deliver(std::move(copy), arrival + sim::nanosecondsToTicks(100));
+        target_->deliver(std::move(copy),
+                         arrival + sim::nanosecondsToTicks(100));
     }
 
     if (faults_.reorderProbability > 0 &&
@@ -138,7 +173,7 @@ LinkDirection::send(Packet &&pkt)
         arrival += extra;
     }
 
-    deliver(std::move(pkt), arrival);
+    target_->deliver(std::move(pkt), arrival);
     return arrival;
 }
 
@@ -151,7 +186,7 @@ LinkDirection::noteFault(const char *kind)
 }
 
 void
-LinkDirection::deliver(Packet &&pkt, sim::Tick when)
+DeliveryPort::deliver(Packet &&pkt, sim::Tick when)
 {
     f4t_assert(sink_ != nullptr, "link '%s' has no sink attached",
                name().c_str());
@@ -186,7 +221,7 @@ LinkDirection::deliver(Packet &&pkt, sim::Tick when)
 }
 
 void
-LinkDirection::drainPending()
+DeliveryPort::drainPending()
 {
     sim::Tick due = now();
     // Deliver in modeled arrival order; push order breaks ties so a
@@ -214,12 +249,7 @@ Link::Link(sim::Simulation &sim, std::string name,
            double bandwidth_bits_per_sec, sim::Tick propagation_delay,
            const FaultModel &faults)
     : Link(sim, std::move(name), bandwidth_bits_per_sec,
-           propagation_delay, faults,
-           [&faults] {
-               FaultModel reverse = faults;
-               reverse.seed = faults.seed * 2654435761ULL + 1;
-               return reverse;
-           }())
+           propagation_delay, faults, reverseFaults(faults))
 {}
 
 Link::Link(sim::Simulation &sim, std::string name,

@@ -8,6 +8,17 @@
  * charging the full wire footprint including preamble, IFG, and FCS —
  * and then delivers after the propagation delay.
  *
+ * The model is split along the cable: LinkDirection is the transmit
+ * half (serialization timing, fault injection, stats, capture) and
+ * DeliveryPort is the receive half (arrival ordering and burst-folded
+ * handoff to the sink). A same-simulation Link wires each direction
+ * straight into a local port; the parallel testbed places the port in
+ * the receiving endpoint's partition and bridges the two with a
+ * mailbox (net/split_link.hh), with the propagation delay exported as
+ * the conservative lookahead. Both arrangements run the identical
+ * delivery code on the identical (arrival, order) stream, which is
+ * what keeps parallel runs byte-exact against the serial oracle.
+ *
  * A FaultInjector can drop, duplicate, or delay (reorder) packets with
  * configured probabilities; the congestion-control experiments
  * (Fig. 14) and the end-to-end reliability property tests use it.
@@ -18,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,7 +54,7 @@ class PacketSink
  * Process-wide switch for the batched data path. When on (the
  * default), the packet generator hands segments to the link
  * synchronously (stamping Packet::txReady instead of scheduling one
- * host event per segment) and each LinkDirection groups back-to-back
+ * host event per segment) and each DeliveryPort groups back-to-back
  * arrivals into one bounded burst per delivery event. Wire timing —
  * serialization start, busy time, arrival tick — is computed
  * identically in both modes; only host-event interleaving (and thus
@@ -73,19 +85,118 @@ struct FaultModel
 };
 
 /**
- * One direction of a link. Owns its serialization state (the time the
- * transmitter is busy until) so both directions are independent, as on
- * a real full-duplex cable.
+ * Where a transmit half sends its survivors: a local DeliveryPort in
+ * the same simulation, or a cross-partition mailbox (split_link.hh)
+ * that replays into a remote port at the next window barrier.
+ */
+class DeliveryTarget
+{
+  public:
+    virtual ~DeliveryTarget() = default;
+    /** Hand over a packet that arrives at absolute tick @p arrival. */
+    virtual void deliver(Packet &&pkt, sim::Tick arrival) = 0;
+};
+
+/**
+ * Receive half of a link direction: orders packets by modeled arrival
+ * tick and hands them to the sink, folding back-to-back arrivals into
+ * bounded bursts when the batched data path is on. Lives in the
+ * *receiving* endpoint's simulation; its inputs are (packet, arrival)
+ * pairs in transmit order, so its behavior is a pure function of that
+ * stream regardless of which side of a partition boundary produced it.
+ */
+class DeliveryPort : public sim::SimObject, public DeliveryTarget
+{
+  public:
+    DeliveryPort(sim::Simulation &sim, std::string name)
+        : SimObject(sim, std::move(name))
+    {}
+
+    /** Connect the receiving end. Must be set before traffic flows. */
+    void setSink(PacketSink *sink) { sink_ = sink; }
+
+    void deliver(Packet &&pkt, sim::Tick arrival) override;
+
+    /** Packets one drain event may hand to the sink (burst bound). */
+    static constexpr std::size_t maxBurst = 16;
+    /** Longest a due packet may wait for trailing burst members. */
+    static constexpr sim::Tick maxBurstHold = sim::nanosecondsToTicks(600);
+
+  private:
+    void drainPending();
+
+    struct DrainEvent : public sim::Event
+    {
+        explicit DrainEvent(DeliveryPort &owner) : owner_(owner) {}
+        void process() override { owner_.drainPending(); }
+        std::string description() const override
+        {
+            return owner_.name() + ".deliver";
+        }
+        DeliveryPort &owner_;
+    };
+
+    struct PendingDelivery
+    {
+        sim::Tick arrival = 0;
+        std::uint64_t seq = 0; ///< push order; ties on arrival keep it
+        Packet pkt;
+    };
+
+    /** Min-heap order on (arrival, push seq) for the std heap calls. */
+    static bool
+    laterDelivery(const PendingDelivery &a, const PendingDelivery &b)
+    {
+        return a.arrival != b.arrival ? a.arrival > b.arrival
+                                      : a.seq > b.seq;
+    }
+
+    PacketSink *sink_ = nullptr;
+    DrainEvent drainEvent_{*this};
+    /** Min-heap on (arrival, seq): a drain pops only matured packets,
+     *  so far-future deliveries are never re-sorted (under fan-in the
+     *  shared wire stretches arrivals far past the drain tick). */
+    std::vector<PendingDelivery> pending_;
+    std::uint64_t pushSeq_ = 0;
+    sim::Tick oldestPendingArrival_ = 0;
+};
+
+/**
+ * Transmit half of a link direction. Owns its serialization state (the
+ * time the transmitter is busy until) so both directions are
+ * independent, as on a real full-duplex cable. Fault injection runs
+ * here — on the sending side — so the injector's RNG stream is
+ * consumed in transmit order even when the receiver lives in another
+ * partition.
  */
 class LinkDirection : public sim::SimObject
 {
   public:
+    /** Same-simulation form: deliveries land in an owned local port. */
     LinkDirection(sim::Simulation &sim, std::string name,
                   double bandwidth_bits_per_sec,
                   sim::Tick propagation_delay, const FaultModel &faults);
 
-    /** Connect the receiving end. Must be set before traffic flows. */
-    void setSink(PacketSink *sink) { sink_ = sink; }
+    /**
+     * Split form: deliveries go to @p target (a cross-partition
+     * conduit ending in a DeliveryPort inside the receiver's
+     * simulation). The target must outlive traffic on this direction.
+     */
+    LinkDirection(sim::Simulation &sim, std::string name,
+                  double bandwidth_bits_per_sec,
+                  sim::Tick propagation_delay, const FaultModel &faults,
+                  DeliveryTarget &target);
+
+    /** Connect the receiving end; same-simulation form only. */
+    void
+    setSink(PacketSink *sink)
+    {
+        f4t_assert(localPort_.has_value(),
+                   "link '%s' delivers cross-partition; set the sink on "
+                   "its DeliveryPort",
+                   name().c_str());
+        localPort_->setSink(sink);
+    }
 
     /**
      * Test-only hook observing every packet accepted by send(), before
@@ -116,44 +227,15 @@ class LinkDirection : public sim::SimObject
     std::uint64_t bytesSent() const { return bytesSent_.value(); }
 
     double bandwidthBitsPerSec() const { return bandwidth_; }
+    sim::Tick propagationDelay() const { return propagationDelay_; }
 
-    /** Packets one drain event may hand to the sink (burst bound). */
-    static constexpr std::size_t maxBurst = 16;
-    /** Longest a due packet may wait for trailing burst members. */
-    static constexpr sim::Tick maxBurstHold = sim::nanosecondsToTicks(600);
+    // Burst constants kept visible here for existing call sites.
+    static constexpr std::size_t maxBurst = DeliveryPort::maxBurst;
+    static constexpr sim::Tick maxBurstHold = DeliveryPort::maxBurstHold;
 
   private:
-    void deliver(Packet &&pkt, sim::Tick when);
-    void drainPending();
     void noteFault(const char *kind);
 
-    struct DrainEvent : public sim::Event
-    {
-        explicit DrainEvent(LinkDirection &owner) : owner_(owner) {}
-        void process() override { owner_.drainPending(); }
-        std::string description() const override
-        {
-            return owner_.name() + ".deliver";
-        }
-        LinkDirection &owner_;
-    };
-
-    struct PendingDelivery
-    {
-        sim::Tick arrival = 0;
-        std::uint64_t seq = 0; ///< push order; ties on arrival keep it
-        Packet pkt;
-    };
-
-    /** Min-heap order on (arrival, push seq) for the std heap calls. */
-    static bool
-    laterDelivery(const PendingDelivery &a, const PendingDelivery &b)
-    {
-        return a.arrival != b.arrival ? a.arrival > b.arrival
-                                      : a.seq > b.seq;
-    }
-
-    PacketSink *sink_ = nullptr;
     Tap tap_;
     PcapWriter *pcap_ = nullptr;
     const char *pcapLabel_ = "";
@@ -164,13 +246,9 @@ class LinkDirection : public sim::SimObject
     std::size_t nextScheduledDrop_ = 0;
     sim::Random rng_;
 
-    DrainEvent drainEvent_{*this};
-    /** Min-heap on (arrival, seq): a drain pops only matured packets,
-     *  so far-future deliveries are never re-sorted (under fan-in the
-     *  shared wire stretches arrivals far past the drain tick). */
-    std::vector<PendingDelivery> pending_;
-    std::uint64_t pushSeq_ = 0;
-    sim::Tick oldestPendingArrival_ = 0;
+    /** Present in the same-simulation form; absent when split. */
+    std::optional<DeliveryPort> localPort_;
+    DeliveryTarget *target_ = nullptr;
 
     sim::Counter packetsSent_;
     sim::Counter packetsDropped_;
@@ -217,6 +295,16 @@ class Link : public sim::SimObject
      * creates without per-bench plumbing. Empty to uninstall.
      */
     static void setCreationObserver(std::function<void(Link &)> observer);
+
+    /** Derive the reverse-direction fault model the single-model
+     *  constructors use (decorrelated RNG seed, same rates). */
+    static FaultModel
+    reverseFaults(const FaultModel &faults)
+    {
+        FaultModel reverse = faults;
+        reverse.seed = faults.seed * 2654435761ULL + 1;
+        return reverse;
+    }
 
   private:
     LinkDirection aToB_;

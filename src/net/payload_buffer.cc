@@ -6,8 +6,23 @@ namespace f4t::net
 PayloadBufferPool &
 PayloadBufferPool::instance()
 {
-    static PayloadBufferPool pool;
+    // One pool per thread: each partition worker recycles through its
+    // own free list with no locking. Buffers migrate — a packet
+    // acquired on the sender's worker is released into the receiver's
+    // pool after crossing a partition mailbox — so ownership follows
+    // the buffer: each is its own heap allocation, owned by whichever
+    // free list parks it. A worker thread exiting therefore destroys
+    // only the buffers parked in *its* pool; anything still in flight
+    // is owned by a live PayloadBuffer and will retire into the
+    // releasing thread's pool.
+    static thread_local PayloadBufferPool pool;
     return pool;
+}
+
+PayloadBufferPool::~PayloadBufferPool()
+{
+    for (std::vector<std::uint8_t> *bytes : free_)
+        delete bytes;
 }
 
 std::vector<std::uint8_t> *
@@ -18,7 +33,8 @@ PayloadBufferPool::acquire()
         free_.pop_back();
         return bytes;
     }
-    return &arena_.emplace_back();
+    ++allocated_;
+    return new std::vector<std::uint8_t>;
 }
 
 void

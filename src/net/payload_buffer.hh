@@ -20,16 +20,22 @@
  * An empty buffer owns no pooled storage: control packets (pure ACKs,
  * SYN/FIN) never touch the pool.
  *
- * The pool is deliberately a process-wide singleton, matching the
- * simulator's single-threaded execution model; it is not thread-safe.
+ * The pool is per-thread (one instance per partition worker), so the
+ * hot acquire/release path stays lock-free under the parallel
+ * executor. Buffers may be released into a different thread's pool
+ * than they were acquired from — packets migrate across partition
+ * mailboxes — which is safe because each buffer is an independent
+ * heap allocation owned by whichever free list it is parked in (a
+ * pool destructor frees only its parked buffers, so a worker thread
+ * exiting cannot invalidate buffers that migrated elsewhere).
  */
 
 #ifndef F4T_NET_PAYLOAD_BUFFER_HH
 #define F4T_NET_PAYLOAD_BUFFER_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <initializer_list>
 #include <vector>
 
@@ -44,22 +50,26 @@ class PayloadBufferPool
   public:
     static PayloadBufferPool &instance();
 
+    ~PayloadBufferPool();
+
     std::vector<std::uint8_t> *acquire();
     void release(std::vector<std::uint8_t> *bytes);
 
     // --- introspection (tests, perf harnesses) --------------------------
 
-    /** Buffers ever constructed (pool high-water mark). */
-    std::size_t allocated() const { return arena_.size(); }
+    /** Buffers this pool ever constructed (its high-water mark). */
+    std::size_t allocated() const { return allocated_; }
     /** Buffers parked and ready for reuse. */
     std::size_t freeCount() const { return free_.size(); }
-    /** Buffers currently held by live PayloadBuffers. */
+    /** Constructed-here minus parked-here. Single-threaded this is
+     *  the live-buffer count; under partition migration a pool can
+     *  park buffers born elsewhere, so compare deltas on one thread. */
     std::size_t outstanding() const { return allocated() - freeCount(); }
 
   private:
     PayloadBufferPool() = default;
 
-    std::deque<std::vector<std::uint8_t>> arena_;
+    std::size_t allocated_ = 0;
     std::vector<std::vector<std::uint8_t> *> free_;
 };
 
@@ -204,10 +214,14 @@ class PayloadBuffer
     static std::uint64_t
     copiesObserved()
     {
-        return copyCount_;
+        return copyCount_.load(std::memory_order_relaxed);
     }
 
-    static void resetCopyCount() { copyCount_ = 0; }
+    static void
+    resetCopyCount()
+    {
+        copyCount_.store(0, std::memory_order_relaxed);
+    }
 
   private:
     static void
@@ -215,11 +229,12 @@ class PayloadBuffer
     {
         if constexpr (sim::checksEnabled) {
             if (size > 0)
-                ++copyCount_;
+                copyCount_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
-    static inline std::uint64_t copyCount_ = 0;
+    /** Atomic: duplicate-fault copies happen on partition workers. */
+    static inline std::atomic<std::uint64_t> copyCount_{0};
 
     void
     releaseStorage()

@@ -1,0 +1,34 @@
+#include "net/split_link.hh"
+
+namespace f4t::net
+{
+
+SplitLink::SplitLink(sim::Simulation &sim_a, sim::Simulation &sim_b,
+                     std::string name, double bandwidth_bits_per_sec,
+                     sim::Tick propagation_delay, const FaultModel &faults)
+    : SplitLink(sim_a, sim_b, std::move(name), bandwidth_bits_per_sec,
+                propagation_delay, faults, Link::reverseFaults(faults))
+{}
+
+SplitLink::SplitLink(sim::Simulation &sim_a, sim::Simulation &sim_b,
+                     std::string name, double bandwidth_bits_per_sec,
+                     sim::Tick propagation_delay,
+                     const FaultModel &faults_a_to_b,
+                     const FaultModel &faults_b_to_a)
+    : portAtB_(sim_b, name + ".aToB"), portAtA_(sim_a, name + ".bToA"),
+      abCrossing_(portAtB_, propagation_delay),
+      baCrossing_(portAtA_, propagation_delay),
+      aToB_(sim_a, name + ".aToB", bandwidth_bits_per_sec,
+            propagation_delay, faults_a_to_b, abCrossing_),
+      bToA_(sim_b, name + ".bToA", bandwidth_bits_per_sec,
+            propagation_delay, faults_b_to_a, baCrossing_)
+{}
+
+void
+SplitLink::connect(PacketSink &endpoint_a, PacketSink &endpoint_b)
+{
+    portAtB_.setSink(&endpoint_b);
+    portAtA_.setSink(&endpoint_a);
+}
+
+} // namespace f4t::net

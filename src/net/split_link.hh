@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cross-partition cable for the parallel simulation kernel.
+ *
+ * A SplitLink is the two-Simulation counterpart of net::Link: each
+ * direction's transmit half (LinkDirection — serialization timing,
+ * fault injection, stats) lives in the sending endpoint's partition
+ * and its receive half (DeliveryPort — arrival ordering, burst
+ * folding) in the receiving endpoint's partition. The two are bridged
+ * by a LinkCrossing: a bounded SPSC mailbox of (arrival tick, packet)
+ * entries pushed in transmit order during a window and replayed into
+ * the remote port at the next barrier.
+ *
+ * The propagation delay is exported as the channel's conservative
+ * lookahead: a packet sent at tick t inside window [T, T+L] has
+ * arrival = busyUntil + propagation ≥ t + L ≥ the next barrier, so a
+ * barrier drain never schedules into a partition's past. Fault
+ * perturbations only push arrivals later (duplicate +100 ns, reorder
+ * +extra), so they inherit the bound.
+ *
+ * Determinism: the mailbox preserves transmit order, the port assigns
+ * its tie-breaking sequence numbers in replay order, and the port's
+ * burst heuristics see the identical (arrival, order) stream a serial
+ * Link's port would see — which is how parallel runs stay byte-exact
+ * against the single-threaded oracle.
+ */
+
+#ifndef F4T_NET_SPLIT_LINK_HH
+#define F4T_NET_SPLIT_LINK_HH
+
+#include <string>
+
+#include "net/link.hh"
+#include "sim/parallel.hh"
+#include "sim/spsc_mailbox.hh"
+
+namespace f4t::net
+{
+
+/**
+ * One direction's partition bridge: DeliveryTarget for the transmit
+ * half, CrossChannel for the executor. Push side runs on the sending
+ * partition's worker; drainInto() runs on the coordinator at a window
+ * barrier, while every worker is parked.
+ */
+class LinkCrossing : public sim::CrossChannel, public DeliveryTarget
+{
+  public:
+    LinkCrossing(DeliveryPort &port, sim::Tick lookahead)
+        : port_(port), lookahead_(lookahead)
+    {
+        f4t_assert(lookahead_ > 0,
+                   "link crossing into '%s' needs positive lookahead",
+                   port.name().c_str());
+    }
+
+    void
+    deliver(Packet &&pkt, sim::Tick arrival) override
+    {
+        mailbox_.push(CrossEvent{arrival, std::move(pkt)});
+    }
+
+    sim::Tick lookahead() const override { return lookahead_; }
+
+    std::size_t
+    drainInto() override
+    {
+        return mailbox_.drain([this](CrossEvent &&event) {
+            port_.deliver(std::move(event.pkt), event.arrival);
+        });
+    }
+
+    bool idle() const override { return mailbox_.empty(); }
+
+    /** Ring overflows since construction (see SpscMailbox). */
+    std::uint64_t spillsObserved() const
+    {
+        return mailbox_.spillsObserved();
+    }
+
+  private:
+    struct CrossEvent
+    {
+        sim::Tick arrival = 0;
+        Packet pkt;
+    };
+
+    DeliveryPort &port_;
+    sim::Tick lookahead_;
+    sim::SpscMailbox<CrossEvent> mailbox_;
+};
+
+/**
+ * A bidirectional cable between two partitions. API mirrors net::Link
+ * so testbeds can swap one for the other; registerChannels() must be
+ * called on the executor that advances both simulations.
+ */
+class SplitLink
+{
+  public:
+    SplitLink(sim::Simulation &sim_a, sim::Simulation &sim_b,
+              std::string name, double bandwidth_bits_per_sec,
+              sim::Tick propagation_delay = sim::nanosecondsToTicks(500),
+              const FaultModel &faults = {});
+
+    /** Asymmetric variant: independent fault models per direction. */
+    SplitLink(sim::Simulation &sim_a, sim::Simulation &sim_b,
+              std::string name, double bandwidth_bits_per_sec,
+              sim::Tick propagation_delay,
+              const FaultModel &faults_a_to_b,
+              const FaultModel &faults_b_to_a);
+
+    /** Attach the two endpoints; endpoint A lives in sim_a. */
+    void connect(PacketSink &endpoint_a, PacketSink &endpoint_b);
+
+    /** Direction used by endpoint A to reach endpoint B (in sim_a). */
+    LinkDirection &aToB() { return aToB_; }
+    /** Direction used by endpoint B to reach endpoint A (in sim_b). */
+    LinkDirection &bToA() { return bToA_; }
+
+    /** Register both crossings with the executor (lookahead export). */
+    void
+    registerChannels(sim::ParallelExecutor &executor)
+    {
+        executor.addChannel(abCrossing_);
+        executor.addChannel(baCrossing_);
+    }
+
+  private:
+    // Receive halves live in the *destination* partitions and carry
+    // the direction's name so drain events read "<link>.aToB.deliver"
+    // exactly as on a same-simulation Link.
+    DeliveryPort portAtB_; ///< in sim_b; receives the A->B direction
+    DeliveryPort portAtA_; ///< in sim_a; receives the B->A direction
+    LinkCrossing abCrossing_;
+    LinkCrossing baCrossing_;
+    LinkDirection aToB_; ///< in sim_a
+    LinkDirection bToA_; ///< in sim_b
+};
+
+} // namespace f4t::net
+
+#endif // F4T_NET_SPLIT_LINK_HH

@@ -47,13 +47,15 @@ writeMetaJson(std::FILE *out, const RunMeta &meta, int indent)
                  "%*s  \"preset\": \"%s\",\n"
                  "%*s  \"trace_enabled\": %s,\n"
                  "%*s  \"checks_enabled\": %s,\n"
-                 "%*s  \"timestamp\": \"%s\"\n"
+                 "%*s  \"timestamp\": \"%s\",\n"
+                 "%*s  \"threads\": %u\n"
                  "%*s}",
                  indent, "", indent, "", meta.gitSha.c_str(), indent, "",
                  meta.preset.c_str(), indent, "",
                  meta.traceEnabled ? "true" : "false", indent, "",
                  meta.checksEnabled ? "true" : "false", indent, "",
-                 meta.timestamp.c_str(), indent, "");
+                 meta.timestamp.c_str(), indent, "", meta.threads, indent,
+                 "");
 }
 
 RunMeta
@@ -72,6 +74,8 @@ parseRunMeta(const JsonValue &meta)
         out.checksEnabled = v->boolOr(out.checksEnabled);
     if (const JsonValue *v = meta.find("timestamp"))
         out.timestamp = v->stringOr(out.timestamp);
+    if (const JsonValue *v = meta.find("threads"))
+        out.threads = static_cast<unsigned>(v->numberOr(out.threads));
     return out;
 }
 

@@ -27,6 +27,14 @@ struct RunMeta
     bool checksEnabled = false;
     /** ISO-8601 UTC wall time of the run ("" when not recorded). */
     std::string timestamp;
+    /**
+     * Worker threads driving the simulation (1 = serial kernel).
+     * Informational only: a run stays self-describing, but
+     * comparableRuns() does not gate on it — thread count is part of
+     * what a scaling comparison measures, and per-scenario results in
+     * one file already mix thread counts.
+     */
+    unsigned threads = 1;
 
     bool known() const { return preset != "unknown"; }
 };

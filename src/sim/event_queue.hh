@@ -197,6 +197,30 @@ class EventQueue
     /** True when no live events remain. */
     bool empty() const { return liveEvents_ == 0; }
 
+    /**
+     * Conservative lower bound on the next live event's tick: exact
+     * when the earliest container entry is live, possibly early when
+     * squashed entries lead it (the safe direction — callers may only
+     * use this to skip idle time, never to run past it); maxTick when
+     * no live event remains. O(1), no container mutation: the parallel
+     * executor polls every partition's queue at each window barrier.
+     */
+    Tick
+    nextEventLowerBound() const
+    {
+        if (soloEvent_ != nullptr)
+            return soloWhen_;
+        if (liveEvents_ == 0)
+            return maxTick;
+        Tick bound = maxTick;
+        std::size_t bucket = findBucketFrom(cursor_);
+        if (bucket < numBuckets)
+            bound = buckets_[bucket]->when;
+        if (!heap_.empty() && heap_.front().when < bound)
+            bound = heap_.front().when;
+        return bound;
+    }
+
     /** Number of live (non-squashed) scheduled events. */
     std::size_t size() const { return liveEvents_; }
 

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <stdexcept>
@@ -11,7 +12,10 @@ namespace f4t::sim
 namespace
 {
 
-bool verboseFlag = true;
+/* Atomic: read by every partition worker's inform() calls while a
+ * harness thread may flip it. (The per-call fprintf is already
+ * serialized by the C stream lock.) */
+std::atomic<bool> verboseFlag{true};
 
 struct SimHook
 {
@@ -29,13 +33,13 @@ thread_local std::vector<SimHook> simHooks;
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -110,7 +114,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (!verboseFlag)
+    if (!verboseFlag.load(std::memory_order_relaxed))
         return;
     std::uint64_t tick;
     if (currentSimTick(tick))

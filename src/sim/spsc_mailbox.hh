@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer mailbox for cross-partition
+ * event exchange in the parallel simulation kernel (sim/parallel.hh).
+ *
+ * One partition's worker thread pushes timestamped entries while it
+ * executes a conservative time window; the coordinator drains the
+ * mailbox at the next window barrier, when every worker is parked.
+ * That protocol gives the mailbox an unusually easy life:
+ *
+ *  - exactly one producer (the owning partition's worker) and one
+ *    consumer (whichever thread runs the barrier) are ever active,
+ *    and never simultaneously with another consumer;
+ *  - the consumer only runs while the producer is quiescent, so a
+ *    drain always observes every push of the completed window (the
+ *    barrier's mutex provides the happens-before edge);
+ *  - FIFO order must be preserved exactly: the receiving link half
+ *    replays entries in push order so the parallel run's delivery
+ *    sequence is bit-identical to the serial run's.
+ *
+ * Storage is a fixed power-of-two ring indexed by free-running
+ * counters. The ring is sized for the worst bursts a window can
+ * produce; if a pathological window overflows it anyway (ten thousand
+ * flows all transmitting into one propagation window), entries spill
+ * to a mutex-guarded overflow queue rather than being dropped or
+ * blocking the worker — blocking would deadlock, since the consumer
+ * only runs after the producer finishes its window. Because the
+ * consumer never pops mid-window, every ring entry of a window
+ * precedes every spilled entry of that window, so draining the ring
+ * first preserves global push order.
+ */
+
+#ifndef F4T_SIM_SPSC_MAILBOX_HH
+#define F4T_SIM_SPSC_MAILBOX_HH
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace f4t::sim
+{
+
+template <typename T>
+class SpscMailbox
+{
+  public:
+    explicit SpscMailbox(std::size_t capacity = 4096)
+        : capacity_(capacity), mask_(capacity - 1), slots_(capacity)
+    {
+        f4t_assert((capacity & (capacity - 1)) == 0 && capacity > 0,
+                   "mailbox capacity %zu is not a power of two", capacity);
+    }
+
+    SpscMailbox(const SpscMailbox &) = delete;
+    SpscMailbox &operator=(const SpscMailbox &) = delete;
+
+    /** Producer side. Never blocks; spills on overflow. */
+    void
+    push(T &&value)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= capacity_) {
+            std::lock_guard<std::mutex> lock(spillMutex_);
+            spill_.push_back(std::move(value));
+            spillCount_.fetch_add(1, std::memory_order_release);
+            spillsSeen_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side: pop every entry in push order into @p fn.
+     * Must only be called while the producer is quiescent (at a
+     * window barrier); entries pushed concurrently with a drain are
+     * otherwise only guaranteed to surface on the next drain.
+     * @return the number of entries consumed.
+     */
+    template <typename Fn>
+    std::size_t
+    drain(Fn &&fn)
+    {
+        std::size_t consumed = 0;
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t tail = tail_.load(std::memory_order_acquire);
+        while (head != tail) {
+            fn(std::move(slots_[head & mask_]));
+            slots_[head & mask_] = T{};
+            ++head;
+            ++consumed;
+        }
+        head_.store(head, std::memory_order_release);
+        if (spillCount_.load(std::memory_order_acquire) > 0) {
+            std::lock_guard<std::mutex> lock(spillMutex_);
+            while (!spill_.empty()) {
+                fn(std::move(spill_.front()));
+                spill_.pop_front();
+                ++consumed;
+            }
+            spillCount_.store(0, std::memory_order_release);
+        }
+        return consumed;
+    }
+
+    /** Consumer-side view; exact at a window barrier. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+                   tail_.load(std::memory_order_acquire) &&
+               spillCount_.load(std::memory_order_acquire) == 0;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries that overflowed the ring since construction (perf
+     *  introspection: a hot mailbox should be resized, not spilling). */
+    std::uint64_t
+    spillsObserved() const
+    {
+        return spillsSeen_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t mask_;
+    std::vector<T> slots_;
+
+    /* Producer and consumer indices on separate cache lines so the
+     * producer's stores never ping-pong the consumer's line. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+
+    alignas(64) std::mutex spillMutex_;
+    std::deque<T> spill_;
+    std::atomic<std::size_t> spillCount_{0};
+    std::atomic<std::uint64_t> spillsSeen_{0};
+};
+
+} // namespace f4t::sim
+
+#endif // F4T_SIM_SPSC_MAILBOX_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Parallel-vs-serial simulation kernel differential corpus.
+ *
+ * The conservative parallel executor (sim/parallel.hh) may not change
+ * anything an application observes: every corpus seed — fault
+ * injection included — runs on the serial single-Simulation FtEngine
+ * pair (the determinism oracle) and on the partitioned
+ * ParallelEnginePairWorld, and both must complete, pass the
+ * byte-stream oracle, and agree byte-exactly on ledger digests and
+ * delivered byte counts.
+ *
+ * The parallel world additionally runs at one and two worker threads;
+ * the two runs must produce identical determinism fingerprints
+ * (simulated clocks, event counts, window counts, cross-partition
+ * traffic, ledger) — thread scheduling must be invisible to the
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/testbed_parallel.hh"
+
+#include "fuzz_runner.hh"
+
+namespace
+{
+
+using namespace f4t;
+using namespace f4t::fuzz;
+
+struct ParallelRunResult
+{
+    RunResult base;
+    /** FNV mix of everything thread scheduling could perturb. */
+    std::uint64_t fingerprint = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t crossEvents = 0;
+};
+
+ParallelRunResult
+runParallelScenario(const Scenario &sc, std::size_t threads)
+{
+    core::EngineConfig config;
+    config.numFpcs = 2;
+    config.flowsPerFpc = 32;
+    config.maxFlows = 1024;
+    testbed::ParallelEnginePairWorld world(
+        1, config, sc.faultsAtoB, sc.bandwidthBps, sc.faultsBtoA,
+        sim::nanosecondsToTicks(500), threads);
+
+    auto client_api = world.apiA(0);
+    auto server_api = world.apiB(0);
+
+    net::StreamOracle oracle;
+    // One trace ring per direction: each tap runs on its sending
+    // partition's worker thread.
+    TraceRing trace_ab, trace_ba;
+    world.link->aToB().setTap([&](net::Packet &pkt) {
+        trace_ab.record(world.simA.now(), "A->B", pkt);
+    });
+    world.link->bToA().setTap([&](net::Packet &pkt) {
+        trace_ba.record(world.simB.now(), "B->A", pkt);
+    });
+
+    FuzzServer server(server_api, oracle);
+    server.start();
+    FuzzClient client(client_api, sc, oracle);
+    client.start();
+
+    // Same slice-driven loop as the serial runner; between run() calls
+    // all workers are parked, so reading client state is safe.
+    const sim::Tick slice = sim::microsecondsToTicks(200);
+    while (!client.done() && world.now() < sc.deadline) {
+        sim::Tick target = world.now() + slice;
+        world.run(target);
+        if (world.now() < target)
+            break;
+    }
+
+    ParallelRunResult result;
+    result.base.completed = client.done();
+    for (std::size_t i = 0; i < sc.conns.size(); ++i) {
+        auto conn = static_cast<std::uint32_t>(i);
+        oracle.expectFullyDelivered(upStream(conn));
+        oracle.expectFullyDelivered(downStream(conn));
+    }
+    result.base.oraclePassed = oracle.passed();
+    result.base.ledgerDigest = oracle.ledgerDigest();
+    result.base.deliveredBytes = oracle.totalDeliveredBytes();
+    result.base.auditRuns = world.simA.auditRuns() + world.simB.auditRuns();
+
+    result.windows = world.executor.windowsRun();
+    result.crossEvents = world.executor.crossEventsDelivered();
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    auto mix = [&fp](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            fp = (fp ^ (v & 0xff)) * 0x100000001b3ULL;
+            v >>= 8;
+        }
+    };
+    mix(result.base.ledgerDigest);
+    mix(result.base.deliveredBytes);
+    mix(world.simA.now());
+    mix(world.simB.now());
+    mix(world.executor.eventsProcessed());
+    mix(result.windows);
+    mix(result.crossEvents);
+    result.fingerprint = fp;
+
+    if (!result.base.ok()) {
+        result.base.failureReport =
+            "parallel fuzz run failed\n  " + sc.describe();
+        if (!result.base.completed) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "\n  deadline hit at %.3fms with connections "
+                          "still open",
+                          sim::ticksToSeconds(world.now()) * 1e3);
+            result.base.failureReport += buf;
+        }
+        result.base.failureReport += "\n  " + oracle.report();
+        result.base.failureReport += "\n  A->B " + trace_ab.dump();
+        result.base.failureReport += "\n  B->A " + trace_ba.dump();
+    }
+    return result;
+}
+
+void
+runParallelCorpus(std::uint64_t first_seed, std::uint64_t count)
+{
+    for (std::uint64_t seed = first_seed; seed < first_seed + count;
+         ++seed) {
+        Scenario sc = Scenario::fromSeed(seed);
+        ASSERT_TRUE(hasFaults(sc.faultsAtoB) || hasFaults(sc.faultsBtoA))
+            << "corpus seed " << seed << " lost its fault injection";
+
+        RunResult serial = runScenario(WorldKind::enginePair, sc);
+        ParallelRunResult solo = runParallelScenario(sc, 1);
+        ParallelRunResult multi = runParallelScenario(sc, 2);
+
+        EXPECT_TRUE(serial.ok())
+            << "serial oracle run failed; reproduce with: fuzz_sweep "
+            << seed << " 1\n" << serial.failureReport;
+        EXPECT_TRUE(solo.base.ok())
+            << "1-thread parallel run failed, seed " << seed << "\n"
+            << solo.base.failureReport;
+        EXPECT_TRUE(multi.base.ok())
+            << "2-thread parallel run failed, seed " << seed << "\n"
+            << multi.base.failureReport;
+
+        // Parallel must be byte-exact against the serial oracle.
+        EXPECT_EQ(solo.base.ledgerDigest, serial.ledgerDigest)
+            << "seed " << seed << ": partitioned kernel changed the "
+            << "application-visible byte streams\n  " << sc.describe();
+        EXPECT_EQ(solo.base.deliveredBytes, serial.deliveredBytes)
+            << "seed " << seed << "\n  " << sc.describe();
+        EXPECT_GT(solo.base.deliveredBytes, 0u) << "seed " << seed;
+
+        // ... and invariant under the worker count, down to the
+        // simulated clocks and event totals.
+        EXPECT_EQ(solo.fingerprint, multi.fingerprint)
+            << "seed " << seed << ": thread count leaked into simulated "
+            << "behavior (windows " << solo.windows << "/"
+            << multi.windows << ", cross events " << solo.crossEvents
+            << "/" << multi.crossEvents << ")\n  " << sc.describe();
+        EXPECT_EQ(solo.base.ledgerDigest, multi.base.ledgerDigest)
+            << "seed " << seed << "\n  " << sc.describe();
+    }
+}
+
+// Same 24-seed corpus as the batching differential, sliced for ctest
+// parallelism.
+TEST(ParallelDifferential, CorpusSlice0) { runParallelCorpus(1, 6); }
+TEST(ParallelDifferential, CorpusSlice1) { runParallelCorpus(7, 6); }
+TEST(ParallelDifferential, CorpusSlice2) { runParallelCorpus(13, 6); }
+TEST(ParallelDifferential, CorpusSlice3) { runParallelCorpus(19, 6); }
+
+} // namespace
