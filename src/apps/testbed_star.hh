@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Star (fan-in) topology worlds: N client hosts and one server host,
+ * every cable plugged into a net::Switch with a shared finite egress
+ * pool. This is the multi-host testbed the open-loop scenarios run
+ * on — incast means all N clients burst toward the one server port,
+ * whose egress queue (and then TCP's loss recovery) absorbs the
+ * oversubscription.
+ *
+ *  - StarWorld: everything in one Simulation (the serial oracle);
+ *  - ParallelStarWorld: the clients + switch in one partition and the
+ *    server in another, bridged by a SplitLink on the bottleneck
+ *    cable. The switch and every client cable stay partition-local,
+ *    so the only cross-partition traffic is the server cable's —
+ *    exactly the seam the conservative lookahead covers.
+ *
+ * Both worlds build identical link/switch/engine parameters from the
+ * same StarConfig, so the parallel differential can require byte-
+ * exact application ledgers between them.
+ */
+
+#ifndef F4T_APPS_TESTBED_STAR_HH
+#define F4T_APPS_TESTBED_STAR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/f4t_socket_api.hh"
+#include "core/engine.hh"
+#include "f4t/runtime.hh"
+#include "host/cpu.hh"
+#include "net/link.hh"
+#include "net/split_link.hh"
+#include "net/switch.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::testbed
+{
+
+struct StarConfig
+{
+    std::size_t clients = 8;
+    std::size_t coresPerHost = 1;
+    core::EngineConfig engine;
+    net::SwitchConfig fabric; ///< numPorts is overwritten to clients+1
+    double clientBandwidthBps = 100e9;
+    double serverBandwidthBps = 100e9;
+    sim::Tick propagationDelay = sim::nanosecondsToTicks(500);
+    /** Faults on the switch->server (bottleneck) direction. */
+    net::FaultModel serverLinkFaults;
+    /** Faults on the server->switch direction; defaults to the
+     *  decorrelated reverse of serverLinkFaults. */
+    std::optional<net::FaultModel> serverLinkReverseFaults;
+};
+
+inline net::Ipv4Address
+starClientIp(std::size_t index)
+{
+    return net::Ipv4Address::fromOctets(
+        10, 0, 1, static_cast<std::uint8_t>(index + 1));
+}
+
+inline net::MacAddress
+starClientMac(std::size_t index)
+{
+    return net::MacAddress{
+        {0x02, 0xf4, 0, 0, 1, static_cast<std::uint8_t>(index + 1)}};
+}
+
+inline net::Ipv4Address
+starServerIp()
+{
+    return net::Ipv4Address::fromOctets(10, 0, 1, 200);
+}
+
+inline net::MacAddress
+starServerMac()
+{
+    return net::MacAddress{{0x02, 0xf4, 0, 0, 1, 0xc8}};
+}
+
+namespace detail
+{
+
+/** Wiring shared by both star worlds: everything except the server
+ *  cable, which is where they differ (Link vs SplitLink). */
+template <typename World>
+inline void
+buildStarCommon(World &world, const StarConfig &config,
+                sim::Simulation &client_sim, sim::Simulation &server_sim)
+{
+    net::SwitchConfig fabric_config = config.fabric;
+    fabric_config.numPorts = config.clients + 1;
+    world.fabric = std::make_unique<net::Switch>(client_sim, "fabric",
+                                                 fabric_config);
+
+    for (std::size_t i = 0; i < config.clients; ++i) {
+        std::string suffix = std::to_string(i);
+        core::EngineConfig engine_config = config.engine;
+        engine_config.ip = starClientIp(i);
+        engine_config.mac = starClientMac(i);
+        auto engine = std::make_unique<core::FtEngine>(
+            client_sim, "client" + suffix, engine_config);
+        engine->addArpEntry(starServerIp(), starServerMac());
+
+        auto link = std::make_unique<net::Link>(
+            client_sim, "uplink" + suffix, config.clientBandwidthBps,
+            config.propagationDelay);
+        // Endpoint A is the switch port, so aToB is the switch's
+        // transmitter toward the client and bToA the client's uplink.
+        link->connect(world.fabric->port(i), *engine);
+        world.fabric->attachTx(i, link->aToB());
+        net::Link *cable = link.get();
+        engine->setTransmit([cable](net::Packet &&pkt) {
+            cable->bToA().send(std::move(pkt));
+        });
+        world.fabric->addRoute(starClientIp(i), i);
+
+        world.clientCpus.push_back(std::make_unique<host::CpuComplex>(
+            client_sim, "clientCpu" + suffix, config.coresPerHost));
+        world.clientRuntimes.push_back(std::make_unique<lib::F4tRuntime>(
+            client_sim, "clientRuntime" + suffix, *engine,
+            config.coresPerHost));
+        world.clientEngines.push_back(std::move(engine));
+        world.clientLinks.push_back(std::move(link));
+    }
+
+    core::EngineConfig server_config = config.engine;
+    server_config.ip = starServerIp();
+    server_config.mac = starServerMac();
+    world.serverEngine = std::make_unique<core::FtEngine>(
+        server_sim, "server", server_config);
+    for (std::size_t i = 0; i < config.clients; ++i)
+        world.serverEngine->addArpEntry(starClientIp(i), starClientMac(i));
+    world.fabric->addRoute(starServerIp(), config.clients);
+
+    world.serverCpu = std::make_unique<host::CpuComplex>(
+        server_sim, "serverCpu", config.coresPerHost);
+    world.serverRuntime = std::make_unique<lib::F4tRuntime>(
+        server_sim, "serverRuntime", *world.serverEngine,
+        config.coresPerHost);
+}
+
+} // namespace detail
+
+/** Serial star world: one Simulation holds all hosts and the switch. */
+struct StarWorld
+{
+    explicit StarWorld(const StarConfig &config = {})
+    {
+        detail::buildStarCommon(*this, config, sim, sim);
+
+        if (config.serverLinkReverseFaults) {
+            serverLink = std::make_unique<net::Link>(
+                sim, "downlink", config.serverBandwidthBps,
+                config.propagationDelay, config.serverLinkFaults,
+                *config.serverLinkReverseFaults);
+        } else {
+            serverLink = std::make_unique<net::Link>(
+                sim, "downlink", config.serverBandwidthBps,
+                config.propagationDelay, config.serverLinkFaults);
+        }
+        serverLink->connect(fabric->port(clientEngines.size()),
+                            *serverEngine);
+        fabric->attachTx(clientEngines.size(), serverLink->aToB());
+        serverEngine->setTransmit([this](net::Packet &&pkt) {
+            serverLink->bToA().send(std::move(pkt));
+        });
+    }
+
+    apps::F4tSocketApi
+    clientApi(std::size_t client, std::size_t thread = 0)
+    {
+        return apps::F4tSocketApi(sim, *clientRuntimes[client], thread,
+                                  clientCpus[client]->core(thread));
+    }
+
+    apps::F4tSocketApi
+    serverApi(std::size_t thread = 0)
+    {
+        return apps::F4tSocketApi(sim, *serverRuntime, thread,
+                                  serverCpu->core(thread));
+    }
+
+    /** Heap-allocated flavor for harnesses that hold many client
+     *  apis in a container (F4tSocketApi cannot be moved). */
+    std::unique_ptr<apps::F4tSocketApi>
+    makeClientApi(std::size_t client, std::size_t thread = 0)
+    {
+        return std::make_unique<apps::F4tSocketApi>(
+            sim, *clientRuntimes[client], thread,
+            clientCpus[client]->core(thread));
+    }
+
+    sim::Simulation sim;
+    std::unique_ptr<net::Switch> fabric;
+    std::vector<std::unique_ptr<core::FtEngine>> clientEngines;
+    std::vector<std::unique_ptr<net::Link>> clientLinks;
+    std::vector<std::unique_ptr<host::CpuComplex>> clientCpus;
+    std::vector<std::unique_ptr<lib::F4tRuntime>> clientRuntimes;
+    std::unique_ptr<core::FtEngine> serverEngine;
+    std::unique_ptr<net::Link> serverLink;
+    std::unique_ptr<host::CpuComplex> serverCpu;
+    std::unique_ptr<lib::F4tRuntime> serverRuntime;
+};
+
+/** Clients + switch in one partition, the server in another. */
+struct ParallelStarWorld
+{
+    explicit ParallelStarWorld(const StarConfig &config = {},
+                               std::size_t threads = 0)
+        : executor(threads)
+    {
+        detail::buildStarCommon(*this, config, simClients, simServer);
+
+        if (config.serverLinkReverseFaults) {
+            serverLink = std::make_unique<net::SplitLink>(
+                simClients, simServer, "downlink",
+                config.serverBandwidthBps, config.propagationDelay,
+                config.serverLinkFaults, *config.serverLinkReverseFaults);
+        } else {
+            serverLink = std::make_unique<net::SplitLink>(
+                simClients, simServer, "downlink",
+                config.serverBandwidthBps, config.propagationDelay,
+                config.serverLinkFaults);
+        }
+        serverLink->connect(fabric->port(clientEngines.size()),
+                            *serverEngine);
+        fabric->attachTx(clientEngines.size(), serverLink->aToB());
+        serverEngine->setTransmit([this](net::Packet &&pkt) {
+            serverLink->bToA().send(std::move(pkt));
+        });
+
+        executor.addPartition(simClients, "clients");
+        executor.addPartition(simServer, "server");
+        serverLink->registerChannels(executor);
+    }
+
+    apps::F4tSocketApi
+    clientApi(std::size_t client, std::size_t thread = 0)
+    {
+        return apps::F4tSocketApi(simClients, *clientRuntimes[client],
+                                  thread, clientCpus[client]->core(thread));
+    }
+
+    apps::F4tSocketApi
+    serverApi(std::size_t thread = 0)
+    {
+        return apps::F4tSocketApi(simServer, *serverRuntime, thread,
+                                  serverCpu->core(thread));
+    }
+
+    std::unique_ptr<apps::F4tSocketApi>
+    makeClientApi(std::size_t client, std::size_t thread = 0)
+    {
+        return std::make_unique<apps::F4tSocketApi>(
+            simClients, *clientRuntimes[client], thread,
+            clientCpus[client]->core(thread));
+    }
+
+    sim::Tick run(sim::Tick limit) { return executor.run(limit); }
+    sim::Tick runFor(sim::Tick duration) { return executor.runFor(duration); }
+    sim::Tick now() const { return executor.now(); }
+
+    sim::Simulation simClients;
+    sim::Simulation simServer;
+    sim::ParallelExecutor executor;
+    std::unique_ptr<net::Switch> fabric;
+    std::vector<std::unique_ptr<core::FtEngine>> clientEngines;
+    std::vector<std::unique_ptr<net::Link>> clientLinks;
+    std::vector<std::unique_ptr<host::CpuComplex>> clientCpus;
+    std::vector<std::unique_ptr<lib::F4tRuntime>> clientRuntimes;
+    std::unique_ptr<core::FtEngine> serverEngine;
+    std::unique_ptr<net::SplitLink> serverLink;
+    std::unique_ptr<host::CpuComplex> serverCpu;
+    std::unique_ptr<lib::F4tRuntime> serverRuntime;
+};
+
+} // namespace f4t::testbed
+
+#endif // F4T_APPS_TESTBED_STAR_HH

@@ -56,6 +56,13 @@ class F4tLibrary
     F4tLibrary(F4tRuntime &runtime, std::size_t queue,
                host::CpuCore &core);
 
+    // The constructor registers a this-capturing completion handler
+    // with the runtime, so a moved-from library would leave the
+    // runtime calling into a dead object. Heap-allocate instead of
+    // moving (see testbed_star.hh's makeClientApi).
+    F4tLibrary(const F4tLibrary &) = delete;
+    F4tLibrary &operator=(const F4tLibrary &) = delete;
+
     void setCallbacks(const F4tCallbacks &callbacks)
     {
         callbacks_ = callbacks;

@@ -1,0 +1,107 @@
+#include "load/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.hh"
+
+namespace f4t::load
+{
+
+double
+ArrivalSpec::meanGapTicks() const
+{
+    switch (kind) {
+    case Kind::fixed:
+        return static_cast<double>(period);
+    case Kind::poisson:
+        f4t_assert(ratePerSec > 0, "poisson arrivals need a positive rate");
+        return static_cast<double>(sim::ticksPerSecond) / ratePerSec;
+    case Kind::logNormal:
+        // mean = median * exp(sigma^2 / 2)
+        return sim::microsecondsToTicks(medianGapUs) *
+               std::exp(sigma * sigma / 2.0);
+    }
+    return 0.0;
+}
+
+sim::Tick
+ArrivalProcess::nextGap()
+{
+    double gap = 0.0;
+    switch (spec_.kind) {
+    case ArrivalSpec::Kind::fixed:
+        return spec_.period;
+    case ArrivalSpec::Kind::poisson:
+        gap = rng_.exponential(static_cast<double>(sim::ticksPerSecond) /
+                               spec_.ratePerSec);
+        break;
+    case ArrivalSpec::Kind::logNormal:
+        gap = rng_.logNormal(
+                  std::log(static_cast<double>(
+                      sim::microsecondsToTicks(spec_.medianGapUs))),
+                  spec_.sigma);
+        break;
+    }
+    return std::max<sim::Tick>(1, static_cast<sim::Tick>(gap));
+}
+
+double
+SizeSpec::meanBytes() const
+{
+    switch (kind) {
+    case Kind::fixed:
+        return static_cast<double>(bytes);
+    case Kind::boundedPareto: {
+        // Bounded Pareto on [L, H] with shape a (a != 1):
+        //   E[X] = L^a / (1 - (L/H)^a) * a / (a - 1)
+        //          * (1 / L^(a-1) - 1 / H^(a-1))
+        double l = minBytes;
+        double h = maxBytes;
+        double a = alpha;
+        f4t_assert(l > 0 && h > l, "bounded Pareto needs 0 < min < max");
+        if (std::fabs(a - 1.0) < 1e-9) {
+            // a == 1 limit: E[X] = ln(H/L) / (1/L - 1/H)
+            return std::log(h / l) / (1.0 / l - 1.0 / h);
+        }
+        double la = std::pow(l, a);
+        double norm = 1.0 - std::pow(l / h, a);
+        return la / norm * a / (a - 1.0) *
+               (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+    }
+    case Kind::logNormal:
+        return medianBytes * std::exp(sigma * sigma / 2.0);
+    }
+    return 0.0;
+}
+
+std::uint32_t
+SizeSampler::next()
+{
+    switch (spec_.kind) {
+    case SizeSpec::Kind::fixed:
+        return spec_.bytes;
+    case SizeSpec::Kind::boundedPareto: {
+        // Inverse CDF of the bounded Pareto on [L, H]:
+        //   x = (-(U * H^a - U * L^a - H^a) / (H^a L^a))^(-1/a)
+        // computed in the numerically stable L-relative form.
+        double u = rng_.uniform();
+        double a = spec_.alpha;
+        double l = spec_.minBytes;
+        double h = spec_.maxBytes;
+        double ratio = std::pow(l / h, a);
+        double x = l * std::pow(1.0 - u * (1.0 - ratio), -1.0 / a);
+        x = std::clamp(x, l, h);
+        return static_cast<std::uint32_t>(x);
+    }
+    case SizeSpec::Kind::logNormal: {
+        double x = rng_.logNormal(std::log(spec_.medianBytes), spec_.sigma);
+        x = std::clamp(x, static_cast<double>(spec_.minBytes),
+                       static_cast<double>(spec_.maxBytes));
+        return static_cast<std::uint32_t>(x);
+    }
+    }
+    return spec_.bytes;
+}
+
+} // namespace f4t::load

@@ -1,0 +1,141 @@
+#include "load/trace.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace f4t::load
+{
+
+std::uint64_t
+traceFingerprint(const std::vector<TraceRecord> &records)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(records.size());
+    for (const TraceRecord &r : records) {
+        mix(r.timePs);
+        mix(r.client);
+        mix(r.conn);
+        mix(static_cast<std::uint64_t>(r.op));
+        mix(r.valueBytes);
+    }
+    return h;
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+bool
+TraceWriter::open(const std::string &path, const std::string &scenario,
+                  std::uint64_t seed)
+{
+    close();
+    out_ = std::fopen(path.c_str(), "w");
+    failed_ = out_ == nullptr;
+    records_ = 0;
+    if (failed_)
+        return false;
+    std::fprintf(out_, "# f4t-flows v1 scenario=%s seed=%" PRIu64 "\n",
+                 scenario.c_str(), seed);
+    std::fprintf(out_, "# time_ps client conn op value_bytes\n");
+    return true;
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    if (out_ == nullptr)
+        return;
+    if (std::fprintf(out_, "%" PRIu64 " %" PRIu32 " %" PRIu32 " %s %" PRIu32
+                           "\n",
+                     record.timePs, record.client, record.conn,
+                     record.op == apps::KvOp::get ? "GET" : "SET",
+                     record.valueBytes) < 0) {
+        failed_ = true;
+    }
+    ++records_;
+}
+
+bool
+TraceWriter::close()
+{
+    if (out_ == nullptr)
+        return !failed_;
+    if (std::fclose(out_) != 0)
+        failed_ = true;
+    out_ = nullptr;
+    return !failed_;
+}
+
+std::optional<TraceFile>
+readTrace(const std::string &path, std::string *error)
+{
+    auto fail = [&](const std::string &message) -> std::optional<TraceFile> {
+        if (error != nullptr)
+            *error = path + ": " + message;
+        return std::nullopt;
+    };
+
+    std::FILE *in = std::fopen(path.c_str(), "r");
+    if (in == nullptr)
+        return fail("cannot open");
+
+    TraceFile out;
+    char line[256];
+    bool have_magic = false;
+    std::uint64_t line_no = 0;
+    while (std::fgets(line, sizeof(line), in) != nullptr) {
+        ++line_no;
+        if (line[0] == '#') {
+            char scenario[128];
+            std::uint64_t seed = 0;
+            if (std::sscanf(line,
+                            "# f4t-flows v1 scenario=%127s seed=%" SCNu64,
+                            scenario, &seed) == 2) {
+                out.scenario = scenario;
+                out.seed = seed;
+                have_magic = true;
+            }
+            continue;
+        }
+        if (line[0] == '\n' || line[0] == '\0')
+            continue;
+        TraceRecord r;
+        char op[8];
+        if (std::sscanf(line,
+                        "%" SCNu64 " %" SCNu32 " %" SCNu32 " %7s %" SCNu32,
+                        &r.timePs, &r.client, &r.conn, op,
+                        &r.valueBytes) != 5) {
+            std::fclose(in);
+            return fail("malformed record at line " +
+                        std::to_string(line_no));
+        }
+        if (std::strcmp(op, "GET") == 0) {
+            r.op = apps::KvOp::get;
+        } else if (std::strcmp(op, "SET") == 0) {
+            r.op = apps::KvOp::set;
+        } else {
+            std::fclose(in);
+            return fail("unknown op at line " + std::to_string(line_no));
+        }
+        if (!out.records.empty() && r.timePs < out.records.back().timePs) {
+            std::fclose(in);
+            return fail("time went backwards at line " +
+                        std::to_string(line_no));
+        }
+        out.records.push_back(r);
+    }
+    std::fclose(in);
+    if (!have_magic)
+        return fail("missing '# f4t-flows v1' header");
+    return out;
+}
+
+} // namespace f4t::load

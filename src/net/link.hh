@@ -228,6 +228,10 @@ class LinkDirection : public sim::SimObject
 
     double bandwidthBitsPerSec() const { return bandwidth_; }
     sim::Tick propagationDelay() const { return propagationDelay_; }
+    /** Tick the transmitter finishes serializing everything accepted
+     *  so far; a store-and-forward device (net/switch.hh) paces its
+     *  egress drain off this instead of guessing wire timing. */
+    sim::Tick busyUntil() const { return busyUntil_; }
 
     // Burst constants kept visible here for existing call sites.
     static constexpr std::size_t maxBurst = DeliveryPort::maxBurst;

@@ -180,6 +180,12 @@ FpuProgram::processFlags(Tcb &tcb, std::uint32_t flags, std::uint64_t now_us,
         syn.window = tcb.receiveWindow();
         syn.mssOption = tcb.mss;
         actions.controls.push_back(syn);
+        // RFC 6298: the first RTT measurement comes from the SYN
+        // exchange, so the very first data RTO uses a measured
+        // estimate instead of the conservative initial rtoUs.
+        tcb.rttSampling = true;
+        tcb.rttSampleSeq = tcb.iss + 1;
+        tcb.rttSampleStartUs = now_us;
         armRtx(tcb, now_us, actions);
     }
 
@@ -207,6 +213,12 @@ FpuProgram::processFlags(Tcb &tcb, std::uint32_t flags, std::uint64_t now_us,
             actions.controls.push_back(synack);
             tcb.lastAckSent = tcb.rcvNxt;
             tcb.lastWndAdvertised = tcb.rcvNxt + synack.window;
+            // Measure the handshake RTT from the latest SYN-ACK
+            // transmission; a restart on a duplicate-SYN resend can
+            // only underestimate, and the minRtoUs floor absorbs that.
+            tcb.rttSampling = true;
+            tcb.rttSampleSeq = tcb.iss + 1;
+            tcb.rttSampleStartUs = now_us;
             armRtx(tcb, now_us, actions);
         } else if (tcb.state == ConnState::established) {
             // Duplicate SYN after establishment: re-ACK.
@@ -218,6 +230,10 @@ FpuProgram::processFlags(Tcb &tcb, std::uint32_t flags, std::uint64_t now_us,
     if ((flags & EventFlags::synAckSeen) &&
         tcb.state == ConnState::synSent &&
         seqGeq(tcb.sndUna, tcb.iss + 1)) {
+        // enterEstablished advances sndUnaProcessed, so processAck
+        // will see acked == 0 for the handshake — take the SYN
+        // exchange's RTT sample here or it is silently lost.
+        updateRtt(tcb, now_us);
         enterEstablished(tcb, actions);
         ControlRequest ack;
         ack.flow = tcb.flowId;
@@ -271,6 +287,7 @@ FpuProgram::processAck(Tcb &tcb, std::uint64_t now_us,
 {
     // SYN_RCVD completes when our SYN is acknowledged.
     if (tcb.state == ConnState::synRcvd && seqGeq(tcb.sndUna, tcb.iss + 1)) {
+        updateRtt(tcb, now_us); // SYN-ACK RTT sample (see processFlags)
         enterEstablished(tcb, actions);
     }
 
@@ -320,6 +337,36 @@ FpuProgram::processAck(Tcb &tcb, std::uint64_t now_us,
             cc_.onAck(tcb, acked_bytes, tcb.lastRttUs, now_us);
             tcb.dupAcks = 0;
             tcb.dupAcksSeen = 0;
+            // Post-RTO go-back-N: handleRto retransmits only the first
+            // unacknowledged segment, so each cumulative ACK below the
+            // recovery point resends the next hole. Without this, a
+            // multi-segment tail loss (incast burst clipped by a
+            // switch queue) recovers one segment per backed-off RTO.
+            if (tcb.rtoRecovery) {
+                if (seqGeq(tcb.sndUna, tcb.recover)) {
+                    tcb.rtoRecovery = false;
+                } else {
+                    std::int32_t outstanding =
+                        seqDiff(tcb.sndNxt, tcb.sndUna);
+                    std::uint32_t data_outstanding =
+                        static_cast<std::uint32_t>(
+                            outstanding -
+                            ((tcb.finSent && seqLeq(tcb.sndUna, tcb.finSeq))
+                                 ? 1
+                                 : 0));
+                    SegmentRequest rtx;
+                    rtx.flow = tcb.flowId;
+                    rtx.seq = tcb.sndUna;
+                    rtx.length = data_outstanding < tcb.mss
+                                     ? data_outstanding
+                                     : tcb.mss;
+                    rtx.ack = tcb.rcvNxt;
+                    rtx.window = tcb.receiveWindow();
+                    rtx.retransmission = true;
+                    if (rtx.length > 0)
+                        actions.segments.push_back(rtx);
+                }
+            }
         }
         tcb.sndUnaProcessed = tcb.sndUna;
 
@@ -431,6 +478,7 @@ FpuProgram::handleRto(Tcb &tcb, std::uint64_t now_us,
         syn.window = tcb.receiveWindow();
         syn.mssOption = tcb.mss;
         actions.controls.push_back(syn);
+        tcb.rttSampling = false; // Karn's rule
         ++tcb.rtxBackoff;
         armRtx(tcb, now_us, actions);
         return;
@@ -444,6 +492,7 @@ FpuProgram::handleRto(Tcb &tcb, std::uint64_t now_us,
         synack.window = tcb.receiveWindow();
         synack.mssOption = tcb.mss;
         actions.controls.push_back(synack);
+        tcb.rttSampling = false; // Karn's rule
         ++tcb.rtxBackoff;
         armRtx(tcb, now_us, actions);
         return;
@@ -457,6 +506,7 @@ FpuProgram::handleRto(Tcb &tcb, std::uint64_t now_us,
 
     cc_.onTimeout(tcb, now_us);
     tcb.recover = tcb.sndNxt;
+    tcb.rtoRecovery = true;
     tcb.dupAcksSeen = tcb.dupAcks;
     tcb.rttSampling = false; // Karn's rule
     ++tcb.rtxBackoff;

@@ -173,6 +173,10 @@ struct Tcb
     std::uint32_t ssthresh = 0;   ///< bytes
     std::uint8_t dupAcks = 0;
     net::SeqNum recover = 0;      ///< NewReno recovery point
+    /** RTO go-back-N in progress: cumulative ACKs below `recover`
+     *  each retransmit the next hole (multi-segment tail loss would
+     *  otherwise crawl at one segment per backed-off RTO). */
+    bool rtoRecovery = false;
     std::uint16_t mss = 1460;
     std::uint32_t algoScratch[algoScratchWords] = {};
 

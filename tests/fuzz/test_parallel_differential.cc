@@ -19,7 +19,14 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/kv.hh"
 #include "apps/testbed_parallel.hh"
+#include "apps/testbed_star.hh"
+#include "load/open_loop.hh"
 
 #include "fuzz_runner.hh"
 
@@ -175,5 +182,213 @@ TEST(ParallelDifferential, CorpusSlice0) { runParallelCorpus(1, 6); }
 TEST(ParallelDifferential, CorpusSlice1) { runParallelCorpus(7, 6); }
 TEST(ParallelDifferential, CorpusSlice2) { runParallelCorpus(13, 6); }
 TEST(ParallelDifferential, CorpusSlice3) { runParallelCorpus(19, 6); }
+
+// ---------------------------------------------------------------------------
+// Open-loop incast differential: N clients behind the shared-buffer
+// switch synchronously burst SETs at one server over a faulty
+// bottleneck downlink. Switch tail drops plus injected loss force the
+// RTO/go-back-N recovery path, and the serial StarWorld must agree
+// byte-exactly (oracle ledger, per-key byte counts, every client- and
+// server-side counter) with the ParallelStarWorld, which itself must
+// be invariant down to switch packet counts and kernel event totals
+// across one and two worker threads.
+
+constexpr std::size_t incastClients = 4;
+constexpr std::uint64_t incastRequestsPerClient = 4;
+constexpr std::uint32_t incastValueBytes = 8 * 1024;
+
+testbed::StarConfig
+incastConfig()
+{
+    testbed::StarConfig config;
+    config.clients = incastClients;
+    config.engine.numFpcs = 2;
+    config.engine.flowsPerFpc = 32;
+    config.engine.maxFlows = 1024;
+    // Pool too small for one synchronized round of 4 x 8 KB bursts:
+    // every round tail-drops at the server port.
+    config.fabric.sharedEgressBytes = 24 * 1024;
+    // Plus random loss on the bottleneck cable itself, both ways.
+    config.serverLinkFaults.dropProbability = 0.01;
+    config.serverLinkFaults.seed = 0xD1FF;
+    return config;
+}
+
+struct IncastRun
+{
+    bool completed = false;
+    bool oraclePassed = true;
+    std::uint64_t ledgerDigest = 0;
+    std::uint64_t deliveredBytes = 0;
+    std::uint64_t switchDrops = 0;
+    /** FNV mix of every application-visible counter. */
+    std::uint64_t appFingerprint = 0;
+    /** Parallel runs only: executor-level determinism fingerprint. */
+    std::uint64_t kernelFingerprint = 0;
+    std::string report;
+};
+
+template <typename World>
+IncastRun
+runIncastWorld(World &world, sim::Simulation &client_sim,
+               const std::function<sim::Tick(sim::Tick)> &run_for)
+{
+    net::StreamOracle oracle;
+
+    apps::F4tSocketApi server_api = world.serverApi();
+    apps::KvServerConfig server_config;
+    server_config.oracle = &oracle;
+    apps::KvServerApp server(server_api, server_config);
+    server.start();
+
+    std::vector<std::unique_ptr<apps::F4tSocketApi>> apis;
+    std::vector<std::unique_ptr<load::OpenLoopClientApp>> clients;
+    for (std::size_t i = 0; i < incastClients; ++i) {
+        apis.push_back(world.makeClientApi(i));
+        load::OpenLoopConfig ocfg;
+        ocfg.peer = testbed::starServerIp();
+        ocfg.connections = 1;
+        ocfg.streamBase = static_cast<std::uint32_t>(i) * 64;
+        ocfg.clientId = static_cast<std::uint32_t>(i);
+        ocfg.seed = 0x1CA57;
+        ocfg.arrivals =
+            load::ArrivalSpec::fixedEvery(sim::microsecondsToTicks(50));
+        ocfg.valueSizes = load::SizeSpec::fixedSize(incastValueBytes);
+        ocfg.readFraction = 0.0; // synchronized SET bursts
+        ocfg.maxRequests = incastRequestsPerClient;
+        ocfg.startAt = sim::microsecondsToTicks(30);
+        ocfg.oracle = &oracle;
+        clients.push_back(
+            std::make_unique<load::OpenLoopClientApp>(*apis.back(), ocfg));
+        clients.back()->start();
+    }
+
+    // Loss recovery rides the 5 ms RTO floor, so give the run room:
+    // slices until everyone finished or 200 ms.
+    const sim::Tick deadline = sim::millisecondsToTicks(200);
+    auto all_done = [&] {
+        for (auto &client : clients)
+            if (client->completed() < incastRequestsPerClient)
+                return false;
+        return true;
+    };
+    while (!all_done() && client_sim.now() < deadline)
+        run_for(sim::millisecondsToTicks(1));
+
+    IncastRun result;
+    result.completed = all_done();
+    for (std::size_t i = 0; i < incastClients; ++i)
+        oracle.expectFullyDelivered(
+            apps::kvSetStream(static_cast<std::uint32_t>(i) * 64));
+    result.oraclePassed = oracle.passed();
+    result.ledgerDigest = oracle.ledgerDigest();
+    result.deliveredBytes = oracle.totalDeliveredBytes();
+    result.switchDrops = world.fabric->totalDropped();
+    if (!result.oraclePassed)
+        result.report = oracle.report();
+
+    // Application-visible state only: per-client request accounting,
+    // server-side op/byte counters, per-key byte totals, and the
+    // oracle ledger. Switch packet counters are deliberately excluded
+    // — partitioning may legally reorder same-tick events across the
+    // cut, which can change how many duplicate ACKs/retransmissions
+    // cross the fabric without changing a single application byte.
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    auto mix = [&fp](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            fp = (fp ^ (v & 0xff)) * 0x100000001b3ULL;
+            v >>= 8;
+        }
+    };
+    for (auto &client : clients) {
+        mix(client->issued());
+        mix(client->dispatched());
+        mix(client->completed());
+        mix(client->valueBytesSent());
+        mix(client->valueBytesReceived());
+    }
+    mix(server.gets());
+    mix(server.sets());
+    mix(server.valueBytesIn());
+    mix(server.valueBytesOut());
+    for (const auto &[key, bytes] : server.setBytesByKey()) {
+        mix(key);
+        mix(bytes);
+    }
+    mix(result.ledgerDigest);
+    result.appFingerprint = fp;
+    return result;
+}
+
+IncastRun
+runIncastSerial()
+{
+    testbed::StarWorld world(incastConfig());
+    return runIncastWorld(world, world.sim, [&](sim::Tick d) {
+        return world.sim.runFor(d);
+    });
+}
+
+IncastRun
+runIncastParallel(std::size_t threads)
+{
+    testbed::ParallelStarWorld world(incastConfig(), threads);
+    IncastRun run = runIncastWorld(
+        world, world.simClients,
+        [&](sim::Tick d) { return world.runFor(d); });
+
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    auto mix = [&fp](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            fp = (fp ^ (v & 0xff)) * 0x100000001b3ULL;
+            v >>= 8;
+        }
+    };
+    mix(run.appFingerprint);
+    // Packet-level switch counters ARE pinned across worker counts:
+    // the same partitioning must replay identically at 1 and N threads.
+    mix(world.fabric->totalForwarded());
+    mix(world.fabric->totalDropped());
+    mix(world.simClients.now());
+    mix(world.simServer.now());
+    mix(world.executor.eventsProcessed());
+    mix(world.executor.windowsRun());
+    mix(world.executor.crossEventsDelivered());
+    run.kernelFingerprint = fp;
+    return run;
+}
+
+TEST(ParallelDifferential, OpenLoopIncastStarWorld)
+{
+    IncastRun serial = runIncastSerial();
+    IncastRun solo = runIncastParallel(1);
+    IncastRun multi = runIncastParallel(2);
+
+    ASSERT_TRUE(serial.completed) << "serial incast run hit the deadline";
+    ASSERT_TRUE(solo.completed) << "1-thread incast run hit the deadline";
+    ASSERT_TRUE(multi.completed) << "2-thread incast run hit the deadline";
+
+    EXPECT_TRUE(serial.oraclePassed) << serial.report;
+    EXPECT_TRUE(solo.oraclePassed) << solo.report;
+    EXPECT_TRUE(multi.oraclePassed) << multi.report;
+
+    // The scenario must actually stress the bottleneck.
+    EXPECT_GT(serial.switchDrops, 0u)
+        << "incast config no longer overflows the shared egress pool";
+    EXPECT_GT(serial.deliveredBytes, 0u);
+
+    // Byte-exact agreement: serial oracle vs partitioned kernel.
+    EXPECT_EQ(solo.ledgerDigest, serial.ledgerDigest)
+        << "partitioned star world changed application byte streams";
+    EXPECT_EQ(solo.deliveredBytes, serial.deliveredBytes);
+    EXPECT_EQ(solo.appFingerprint, serial.appFingerprint)
+        << "per-client/server/switch counters diverged serial vs parallel";
+
+    // ... and thread-count invariance down to kernel event totals.
+    EXPECT_EQ(multi.ledgerDigest, solo.ledgerDigest);
+    EXPECT_EQ(multi.appFingerprint, solo.appFingerprint);
+    EXPECT_EQ(multi.kernelFingerprint, solo.kernelFingerprint)
+        << "worker count leaked into simulated behavior";
+}
 
 } // namespace

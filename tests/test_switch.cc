@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the shared-buffer output-queued switch
+ * (src/net/switch.hh): per-egress FIFO ordering, tail-drop accounting
+ * against the shared pool, per-port counters, flood behavior, and the
+ * egress-accounting audit.
+ *
+ * The tests drive SwitchPort::receivePacket directly (the same entry
+ * a cable delivers into) and attach real Links toward collector
+ * endpoints so egress pacing runs through LinkDirection exactly as in
+ * the star testbeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/packet.hh"
+#include "net/switch.hh"
+#include "sim/simulation.hh"
+
+namespace f4t::net
+{
+namespace
+{
+
+struct CollectorSink : PacketSink
+{
+    std::vector<Packet> received;
+
+    void
+    receivePacket(Packet &&pkt) override
+    {
+        received.push_back(std::move(pkt));
+    }
+};
+
+Ipv4Address
+hostIp(std::uint8_t index)
+{
+    return Ipv4Address::fromOctets(10, 0, 9, index);
+}
+
+MacAddress
+hostMac(std::uint8_t index)
+{
+    return MacAddress{{2, 0, 0, 0, 0, index}};
+}
+
+Packet
+makeFrame(std::uint8_t src, std::uint8_t dst, std::uint32_t seq,
+          std::size_t payload_bytes)
+{
+    TcpHeader tcp;
+    tcp.srcPort = 1000;
+    tcp.dstPort = 2000;
+    tcp.seq = seq;
+    return Packet::makeTcp(hostMac(src), hostMac(dst), hostIp(src),
+                           hostIp(dst), tcp,
+                           PayloadBuffer(payload_bytes));
+}
+
+/** A switch plus one cable per port ending in a collector. */
+struct SwitchWorld
+{
+    sim::Simulation sim;
+    std::unique_ptr<Switch> fabric;
+    std::vector<std::unique_ptr<Link>> cables;
+    std::vector<std::unique_ptr<CollectorSink>> hosts;
+
+    explicit SwitchWorld(const SwitchConfig &config)
+    {
+        fabric = std::make_unique<Switch>(sim, "fabric", config);
+        for (std::size_t i = 0; i < config.numPorts; ++i) {
+            hosts.push_back(std::make_unique<CollectorSink>());
+            cables.push_back(std::make_unique<Link>(
+                sim, "cable" + std::to_string(i), 100e9,
+                sim::nanosecondsToTicks(500)));
+            // Switch side is endpoint A: the switch transmits toward
+            // the host through aToB(), hosts inject through bToA().
+            cables.back()->connect(fabric->port(i), *hosts.back());
+            fabric->attachTx(i, cables.back()->aToB());
+            fabric->addRoute(hostIp(static_cast<std::uint8_t>(i)), i);
+        }
+    }
+
+    /** Deliver a frame into @p in_port as if a cable had. */
+    void
+    inject(std::size_t in_port, Packet &&pkt)
+    {
+        fabric->port(in_port).receivePacket(std::move(pkt));
+    }
+};
+
+TEST(Switch, ForwardsByRouteAndPreservesFifoOrder)
+{
+    SwitchConfig config;
+    config.numPorts = 4;
+    SwitchWorld world(config);
+
+    // Three frames from distinct ingress ports, all routed to port 0,
+    // injected in a known order at the same tick.
+    world.inject(1, makeFrame(1, 0, 100, 256));
+    world.inject(2, makeFrame(2, 0, 200, 256));
+    world.inject(3, makeFrame(3, 0, 300, 256));
+    world.sim.runFor(sim::microsecondsToTicks(50));
+
+    auto &out = world.hosts[0]->received;
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].tcp().seq, 100u);
+    EXPECT_EQ(out[1].tcp().seq, 200u);
+    EXPECT_EQ(out[2].tcp().seq, 300u);
+
+    EXPECT_EQ(world.fabric->forwarded(0), 3u);
+    EXPECT_EQ(world.fabric->received(1), 1u);
+    EXPECT_EQ(world.fabric->received(2), 1u);
+    EXPECT_EQ(world.fabric->received(3), 1u);
+    EXPECT_EQ(world.fabric->totalDropped(), 0u);
+    EXPECT_EQ(world.fabric->sharedPoolUsed(), 0u);
+}
+
+TEST(Switch, SerializesBackToBackFramesInArrivalOrder)
+{
+    SwitchConfig config;
+    config.numPorts = 2;
+    SwitchWorld world(config);
+
+    for (std::uint32_t i = 0; i < 16; ++i)
+        world.inject(1, makeFrame(1, 0, i, 1400));
+    world.sim.runFor(sim::microsecondsToTicks(50));
+
+    auto &out = world.hosts[0]->received;
+    ASSERT_EQ(out.size(), 16u);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i].tcp().seq, i) << "frame " << i;
+}
+
+TEST(Switch, TailDropsWhenSharedPoolOverflowsAndAccountsExactly)
+{
+    SwitchConfig config;
+    config.numPorts = 3;
+    // Pool sized for only a handful of 1400-byte frames.
+    config.sharedEgressBytes = 6 * 1500;
+    SwitchWorld world(config);
+
+    constexpr std::uint32_t offered = 32;
+    for (std::uint32_t i = 0; i < offered; ++i) {
+        world.inject(1, makeFrame(1, 0, i, 1400));
+        world.inject(2, makeFrame(2, 0, 1000 + i, 1400));
+    }
+    world.sim.runFor(sim::microsecondsToTicks(100));
+
+    std::uint64_t admitted = world.fabric->enqueued(0);
+    std::uint64_t dropped = world.fabric->droppedOverflow(0);
+    EXPECT_EQ(admitted + dropped, 2 * offered);
+    EXPECT_GT(dropped, 0u) << "pool was sized to force tail drops";
+    EXPECT_EQ(world.fabric->totalDropped(), dropped);
+
+    // Every admitted frame eventually drains, in order, and the pool
+    // accounting returns to zero.
+    EXPECT_EQ(world.fabric->forwarded(0), admitted);
+    EXPECT_EQ(world.hosts[0]->received.size(), admitted);
+    EXPECT_EQ(world.fabric->sharedPoolUsed(), 0u);
+    EXPECT_EQ(world.fabric->queuedBytes(0), 0u);
+    EXPECT_LE(world.fabric->peakQueuedBytes(0),
+              world.fabric->sharedPoolCapacity());
+
+    // Tail drop means the *first* frames survive.
+    auto &out = world.hosts[0]->received;
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out[0].tcp().seq, 0u);
+
+    // Byte accounting: forwarded wire bytes match what arrived.
+    std::uint64_t wire = 0;
+    for (const auto &pkt : out)
+        wire += pkt.wireBytes();
+    EXPECT_EQ(world.fabric->bytesForwarded(0), wire);
+}
+
+TEST(Switch, PerPortCountersTrackDistinctEgresses)
+{
+    SwitchConfig config;
+    config.numPorts = 4;
+    SwitchWorld world(config);
+
+    for (std::uint32_t i = 0; i < 5; ++i)
+        world.inject(3, makeFrame(3, 0, i, 512));
+    for (std::uint32_t i = 0; i < 2; ++i)
+        world.inject(3, makeFrame(3, 1, i, 512));
+    world.sim.runFor(sim::microsecondsToTicks(50));
+
+    EXPECT_EQ(world.fabric->received(3), 7u);
+    EXPECT_EQ(world.fabric->forwarded(0), 5u);
+    EXPECT_EQ(world.fabric->forwarded(1), 2u);
+    EXPECT_EQ(world.fabric->forwarded(2), 0u);
+    EXPECT_EQ(world.hosts[0]->received.size(), 5u);
+    EXPECT_EQ(world.hosts[1]->received.size(), 2u);
+    EXPECT_EQ(world.fabric->totalForwarded(), 7u);
+}
+
+TEST(Switch, UnroutedDestinationCountsAsRouteMiss)
+{
+    SwitchConfig config;
+    config.numPorts = 2;
+    SwitchWorld world(config);
+
+    world.inject(0, makeFrame(0, 200, 1, 64)); // no route for host 200
+    world.sim.runFor(sim::microsecondsToTicks(10));
+
+    EXPECT_EQ(world.fabric->routeMisses(), 1u);
+    EXPECT_EQ(world.fabric->totalForwarded(), 0u);
+    EXPECT_TRUE(world.hosts[1]->received.empty());
+}
+
+TEST(Switch, BroadcastFloodsToAllPortsExceptIngress)
+{
+    SwitchConfig config;
+    config.numPorts = 4;
+    SwitchWorld world(config);
+
+    Packet pkt = makeFrame(1, 0, 42, 64);
+    pkt.eth.dst = MacAddress::broadcast();
+    world.inject(1, std::move(pkt));
+    world.sim.runFor(sim::microsecondsToTicks(10));
+
+    EXPECT_EQ(world.hosts[0]->received.size(), 1u);
+    EXPECT_TRUE(world.hosts[1]->received.empty()) << "no hairpin";
+    EXPECT_EQ(world.hosts[2]->received.size(), 1u);
+    EXPECT_EQ(world.hosts[3]->received.size(), 1u);
+}
+
+TEST(Switch, EgressAccountingAuditHoldsUnderLoad)
+{
+    SwitchConfig config;
+    config.numPorts = 3;
+    config.sharedEgressBytes = 8 * 1500;
+    SwitchWorld world(config);
+
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        world.inject(1, makeFrame(1, 0, i, 1000));
+        world.inject(2, makeFrame(2, 0, i, 700));
+        if (i % 8 == 0) {
+            world.sim.runFor(sim::microsecondsToTicks(1));
+            world.sim.runAudits();
+        }
+    }
+    world.sim.runFor(sim::microsecondsToTicks(100));
+    world.sim.runAudits();
+    EXPECT_GT(world.sim.auditRuns(), 0u);
+}
+
+} // namespace
+} // namespace f4t::net
