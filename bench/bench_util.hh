@@ -14,6 +14,7 @@
 #ifndef F4T_BENCH_BENCH_UTIL_HH
 #define F4T_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +25,9 @@
 
 #include "net/link.hh"
 #include "net/pcap_writer.hh"
+#include "obs/profiler.hh"
 #include "obs/run_meta.hh"
+#include "sim/profile_scope.hh"
 #include "sim/simulation.hh"
 #include "sim/types.hh"
 
@@ -141,6 +144,12 @@ mrps(std::uint64_t count, sim::Tick window)
  *                           sampled every US microseconds (default 100)
  *   --stat-select=GLOB      which stats the CSV columns cover ("*")
  *   --stats-json=PATH       end-of-run StatRegistry JSON per Simulation
+ *   --profile               enable the wall-clock self-profiler for the
+ *                           whole process (needs F4T_ENABLE_PROFILE);
+ *                           bench mains that know their measurement
+ *                           windows emit per-scenario tables and JSON,
+ *                           and every binary prints a whole-process
+ *                           category table at exit
  *
  * Binaries that build several simulations or links get index-suffixed
  * files: timeline.json, timeline.1.json, ... in construction order.
@@ -195,6 +204,14 @@ class Obs
         return instance().installed_;
     }
 
+    /** True when --profile was passed (and the profiler is compiled
+     *  in): bench mains emit per-scenario cost tables and JSON. */
+    static bool
+    profiling()
+    {
+        return instance().profileActive_;
+    }
+
   private:
     struct SimRec
     {
@@ -233,6 +250,8 @@ class Obs
                 statSelect_ = v;
             } else if ((v = value_of(argv[i], "--stats-json="))) {
                 statsJsonPath_ = v;
+            } else if (std::strcmp(argv[i], "--profile") == 0) {
+                enableProfiling();
             } else {
                 argv[out++] = argv[i];
             }
@@ -242,6 +261,36 @@ class Obs
             !statCsvPath_.empty() || !statsJsonPath_.empty()) {
             installObservers();
         }
+    }
+
+    void
+    enableProfiling()
+    {
+        if (!sim::prof::compiledIn) {
+            std::fprintf(stderr,
+                         "obs: --profile ignored — this build has "
+                         "F4T_ENABLE_PROFILE=OFF (use the default "
+                         "configure, not the release preset)\n");
+            return;
+        }
+        if (profileActive_)
+            return;
+        profileActive_ = true;
+        sim::prof::setEnabled(true);
+        profileStart_ = std::chrono::steady_clock::now();
+        // Whole-process fallback: even binaries that never call
+        // profiling() themselves print a category table at exit.
+        std::atexit([] {
+            Obs &obs = instance();
+            double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - obs.profileStart_)
+                    .count();
+            obs::ProfileReport report =
+                obs::makeProfileReport(sim::prof::capture(), wall);
+            std::fprintf(stderr, "obs: whole-process profile\n");
+            obs::printProfileTable(stderr, report);
+        });
     }
 
     void
@@ -339,6 +388,8 @@ class Obs
     }
 
     bool installed_ = false;
+    bool profileActive_ = false;
+    std::chrono::steady_clock::time_point profileStart_{};
     std::string pcapPath_;
     std::string timelinePath_;
     std::string statCsvPath_;

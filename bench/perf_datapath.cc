@@ -23,10 +23,14 @@
  *
  * Output: a human-readable summary plus a JSON file (default
  * BENCH_datapath.json) with the same schema perf_kernel emits
- * ({"bench": "datapath", "schema": 3, meta, scenarios[]}), gated in CI
+ * ({"bench": "datapath", "schema": 5, meta, scenarios[]}), gated in CI
  * by f4t_report against bench/baselines/BENCH_datapath.json. Schema 3
- * adds per-scenario "threads" and the per-flow throughput metric
- * "sim_pkts_per_wall_sec_per_flow" (gated: it contains "per_wall").
+ * added per-scenario "threads" and the per-flow throughput metric
+ * "sim_pkts_per_wall_sec_per_flow" (gated: it contains "per_wall");
+ * schema 5 adds "round_trips_per_wall_sec", the profiler meta fields,
+ * and — under --profile — a per-category "profile" member with the
+ * executor's per-worker busy/idle/barrier breakdown on parallel
+ * scenarios (obs/profiler.hh).
  *
  * "fingerprint" hashes simulated quantities only (ticks, packet and
  * byte counts, round trips): it must be identical across presets and
@@ -66,6 +70,8 @@ struct ScenarioResult
     std::uint64_t fingerprint = 0;
     /** Worker threads driving the kernel (1 = serial event loop). */
     std::uint64_t threads = 1;
+    bool profiled = false;
+    obs::ProfileReport profile;
 
     double
     hostEventsPerSec() const
@@ -84,6 +90,14 @@ struct ScenarioResult
     simPacketsPerWallSecPerFlow() const
     {
         return flows > 0 ? simPacketsPerWallSec() / flows : 0;
+    }
+
+    /** Application-visible work rate (echo round trips completed per
+     *  wall second), the second schema-5 CI-gated wall-clock metric. */
+    double
+    roundTripsPerWallSec() const
+    {
+        return wallSeconds > 0 ? roundTrips / wallSeconds : 0;
     }
 };
 
@@ -183,12 +197,18 @@ runManyFlows(std::size_t flows, sim::Tick warmup, sim::Tick window)
     for (auto &client : clients)
         trips_before += client->roundTrips();
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
     auto start = std::chrono::steady_clock::now();
     world.sim.runFor(window);
 
     ScenarioResult result;
     result.name = "many_flows";
     result.wallSeconds = wallSince(start);
+    if (bench::Obs::profiling()) {
+        result.profiled = true;
+        result.profile = obs::makeProfileReport(
+            sim::prof::since(prof_before), result.wallSeconds);
+    }
     result.eventsProcessed =
         world.sim.queue().eventsProcessed() - events_before;
     result.simTicks = world.sim.now();
@@ -288,6 +308,9 @@ runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
     for (auto &client : clients)
         trips_before += client->roundTrips();
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
+    std::vector<sim::WorkerProfile> workers_before =
+        world.executor.workerProfiles();
     auto start = std::chrono::steady_clock::now();
     world.runFor(window);
 
@@ -295,6 +318,17 @@ runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
     result.name = "many_flows_t" + std::to_string(threads);
     result.threads = threads;
     result.wallSeconds = wallSince(start);
+    if (bench::Obs::profiling()) {
+        result.profiled = true;
+        // Coverage divides by the threads a run could actually use —
+        // the executor caps at the partition count (2 here), so a
+        // --threads=8 request still measures against 2.
+        result.profile = obs::makeProfileReport(
+            sim::prof::since(prof_before), result.wallSeconds,
+            static_cast<unsigned>(world.executor.effectiveThreads()));
+        obs::attachWorkerProfiles(result.profile, workers_before,
+                                  world.executor.workerProfiles());
+    }
     result.eventsProcessed =
         world.executor.eventsProcessed() - events_before;
     result.simTicks = world.now();
@@ -332,7 +366,7 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
     for (const ScenarioResult &r : results)
         max_threads = std::max(max_threads, unsigned(r.threads));
 
-    std::fprintf(out, "{\n  \"bench\": \"datapath\",\n  \"schema\": 3,\n");
+    std::fprintf(out, "{\n  \"bench\": \"datapath\",\n  \"schema\": 5,\n");
     bench::writeRunMeta(out, 2, max_threads);
     std::fprintf(out, ",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -350,8 +384,7 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
                      "      \"sim_pkts_per_wall_sec_per_flow\": %.3f,\n"
                      "      \"connected_flows\": %llu,\n"
                      "      \"round_trips\": %llu,\n"
-                     "      \"fingerprint\": \"%016llx\"\n"
-                     "    }%s\n",
+                     "      \"round_trips_per_wall_sec\": %.1f,\n",
                      r.name.c_str(),
                      static_cast<unsigned long long>(r.threads),
                      r.wallSeconds, r.hostEventsPerSec(),
@@ -362,6 +395,14 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
                      r.simPacketsPerWallSecPerFlow(),
                      static_cast<unsigned long long>(r.flows),
                      static_cast<unsigned long long>(r.roundTrips),
+                     r.roundTripsPerWallSec());
+        if (r.profiled) {
+            obs::writeProfileJson(out, r.profile, 6);
+            std::fprintf(out, ",\n");
+        }
+        std::fprintf(out,
+                     "      \"fingerprint\": \"%016llx\"\n"
+                     "    }%s\n",
                      static_cast<unsigned long long>(r.fingerprint),
                      i + 1 < results.size() ? "," : "");
     }
@@ -399,6 +440,10 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             threads = std::strtoull(argv[++i], nullptr, 10);
+            if (threads == 0)
+                threads = 1;
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads = std::strtoull(argv[i] + 10, nullptr, 10);
             if (threads == 0)
                 threads = 1;
         } else if (std::strcmp(argv[i], "--warmup-us") == 0 &&
@@ -467,6 +512,14 @@ main(int argc, char **argv)
                       std::to_string(r.roundTrips), fp});
     }
     table.print();
+
+    if (bench::Obs::profiling()) {
+        std::printf("\nper-scenario wall-clock cost attribution:\n");
+        for (const ScenarioResult &r : results) {
+            std::printf("%s:\n", r.name.c_str());
+            obs::printProfileTable(stdout, r.profile);
+        }
+    }
 
     // Determinism cross-check: every parallel scenario ran the same
     // partitioned world, so their fingerprints must agree bit-for-bit

@@ -16,17 +16,24 @@
  * Output: a human-readable summary plus a JSON file (default
  * BENCH_kernel.json) with schema:
  *
- *   { "bench": "kernel", "schema": 2,
+ *   { "bench": "kernel", "schema": 5,
  *     "meta": { "git_sha", "preset", "trace_enabled", "checks_enabled",
+ *               "profile_enabled", "profiled",
  *               "timestamp" },   // run identity, see obs/run_meta.hh
  *     "scenarios": [ { "name": ...,
  *                      "wall_seconds": ...,
  *                      "host_events_per_sec": ...,
  *                      "events_processed": ...,
  *                      "sim_ticks": ...,
+ *                      "sim_ticks_per_wall_sec": ...,
  *                      "sim_packets": ...,          // bulk only
  *                      "sim_packets_per_wall_sec": ...,
+ *                      "profile": { ... },          // --profile only
  *                      "fingerprint": ... } ] }
+ *
+ * Schema 5 (shared by all BENCH writers): run meta gains the profiler
+ * gate fields and scenarios may carry a per-category wall-clock
+ * "profile" member (obs/profiler.hh) when measured under --profile.
  *
  * "fingerprint" is a determinism check: a stable hash of simulated
  * results (tick counts, stats counters) that must not change when the
@@ -59,6 +66,8 @@ struct ScenarioResult
     sim::Tick simTicks = 0;
     std::uint64_t simPackets = 0;
     std::uint64_t fingerprint = 0;
+    bool profiled = false;
+    obs::ProfileReport profile;
 
     double
     hostEventsPerSec() const
@@ -71,7 +80,28 @@ struct ScenarioResult
     {
         return wallSeconds > 0 ? simPackets / wallSeconds : 0;
     }
+
+    /** Simulated-time throughput: how much simulated time one wall
+     *  second buys — the kernel-speed metric that is meaningful for
+     *  every scenario, packets or not, and CI-gated per schema 5. */
+    double
+    simTicksPerWallSec() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(simTicks) / wallSeconds
+                               : 0;
+    }
 };
+
+/** Profile delta over the measured interval, when --profile is on. */
+void
+attachProfile(ScenarioResult &result, const sim::prof::Snapshot &before)
+{
+    if (!bench::Obs::profiling())
+        return;
+    result.profiled = true;
+    result.profile = obs::makeProfileReport(sim::prof::since(before),
+                                            result.wallSeconds);
+}
 
 /** FNV-1a over simulated quantities: stable across kernel rewrites. */
 struct Fingerprint
@@ -140,20 +170,27 @@ runEventRate(sim::Tick window)
     std::vector<std::uint32_t> offsets(flows, 0);
     sim.runFor(sim::microsecondsToTicks(1)); // settle installs
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
     auto start = std::chrono::steady_clock::now();
     std::uint64_t injected = 0;
     sim::Tick end = sim.now() + window;
     while (sim.now() < end) {
-        while (fpc.inputBacklog() < 64) {
-            tcp::FlowId flow = static_cast<tcp::FlowId>(injected % flows);
-            offsets[flow] += 16;
-            tcp::TcpEvent ev;
-            ev.flow = flow;
-            ev.type = tcp::TcpEventType::userSend;
-            ev.pointer = tcp::FpuProgram::initialSequence(flow) + 1 +
-                         offsets[flow];
-            fpc.enqueueEvent(ev);
-            ++injected;
+        {
+            // Injection runs outside the event loop; attribute it so
+            // the category sum still covers the measured wall time.
+            sim::prof::Scope inject_scope(sim::prof::Cat::harness);
+            while (fpc.inputBacklog() < 64) {
+                tcp::FlowId flow =
+                    static_cast<tcp::FlowId>(injected % flows);
+                offsets[flow] += 16;
+                tcp::TcpEvent ev;
+                ev.flow = flow;
+                ev.type = tcp::TcpEventType::userSend;
+                ev.pointer = tcp::FpuProgram::initialSequence(flow) + 1 +
+                             offsets[flow];
+                fpc.enqueueEvent(ev);
+                ++injected;
+            }
         }
         sim.runFor(sim.engineClock().period() * 16);
     }
@@ -161,6 +198,7 @@ runEventRate(sim::Tick window)
     ScenarioResult result;
     result.name = "event_rate";
     result.wallSeconds = wallSince(start);
+    attachProfile(result, prof_before);
     result.eventsProcessed = sim.queue().eventsProcessed();
     result.simTicks = sim.now();
     result.simPackets = 0;
@@ -202,12 +240,14 @@ runBulkTransfer(sim::Tick window)
     apps::BulkSenderApp sender(send_api, sender_config);
     sender.start();
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
     auto start = std::chrono::steady_clock::now();
     world.sim.runFor(window);
 
     ScenarioResult result;
     result.name = "bulk_transfer";
     result.wallSeconds = wallSince(start);
+    attachProfile(result, prof_before);
     result.eventsProcessed = world.sim.queue().eventsProcessed();
     result.simTicks = world.sim.now();
     result.simPackets = world.link->aToB().packetsSent() +
@@ -232,7 +272,7 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
         std::fprintf(stderr, "perf_kernel: cannot write %s\n", path.c_str());
         return;
     }
-    std::fprintf(out, "{\n  \"bench\": \"kernel\",\n  \"schema\": 2,\n");
+    std::fprintf(out, "{\n  \"bench\": \"kernel\",\n  \"schema\": 5,\n");
     bench::writeRunMeta(out, 2);
     std::fprintf(out, ",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -244,15 +284,22 @@ writeJson(const std::string &path, const std::vector<ScenarioResult> &results)
                      "      \"host_events_per_sec\": %.1f,\n"
                      "      \"events_processed\": %llu,\n"
                      "      \"sim_ticks\": %llu,\n"
+                     "      \"sim_ticks_per_wall_sec\": %.1f,\n"
                      "      \"sim_packets\": %llu,\n"
-                     "      \"sim_packets_per_wall_sec\": %.1f,\n"
-                     "      \"fingerprint\": \"%016llx\"\n"
-                     "    }%s\n",
+                     "      \"sim_packets_per_wall_sec\": %.1f,\n",
                      r.name.c_str(), r.wallSeconds, r.hostEventsPerSec(),
                      static_cast<unsigned long long>(r.eventsProcessed),
                      static_cast<unsigned long long>(r.simTicks),
+                     r.simTicksPerWallSec(),
                      static_cast<unsigned long long>(r.simPackets),
-                     r.simPacketsPerWallSec(),
+                     r.simPacketsPerWallSec());
+        if (r.profiled) {
+            obs::writeProfileJson(out, r.profile, 6);
+            std::fprintf(out, ",\n");
+        }
+        std::fprintf(out,
+                     "      \"fingerprint\": \"%016llx\"\n"
+                     "    }%s\n",
                      static_cast<unsigned long long>(r.fingerprint),
                      i + 1 < results.size() ? "," : "");
     }
@@ -317,6 +364,14 @@ main(int argc, char **argv)
                       fp});
     }
     table.print();
+
+    if (bench::Obs::profiling()) {
+        std::printf("\nper-scenario wall-clock cost attribution:\n");
+        for (const ScenarioResult &r : results) {
+            std::printf("%s:\n", r.name.c_str());
+            obs::printProfileTable(stdout, r.profile);
+        }
+    }
 
     writeJson(out_path, results);
     std::printf("\nwrote %s\n", out_path.c_str());

@@ -24,11 +24,14 @@
  *
  * Output: human-readable summary plus a JSON report (default
  * BENCH_scenarios.json) with schema {"bench": "scenarios",
- * "schema": 4, meta, scenarios[]}, gated in CI by f4t_report against
+ * "schema": 5, meta, scenarios[]}, gated in CI by f4t_report against
  * bench/baselines/BENCH_scenarios.json. Latency percentiles are
  * emitted as p50_us/p99_us/p999_us (gated lower-is-better by the
  * "_us" suffix); requests_per_sec, conns_per_sec and goodput_gbps
- * gate higher-is-better.
+ * gate higher-is-better. Schema 5 adds the profiler meta fields
+ * (profile_enabled/profiled) and, under --profile, a per-scenario
+ * "profile" member with the wall-clock cost attribution
+ * (obs::writeProfileJson).
  *
  * "fingerprint" hashes simulated quantities only (final tick, request
  * and byte counters, switch forward/drop totals, cable counters): it
@@ -48,6 +51,8 @@
 #include "apps/testbed_star.hh"
 #include "bench_util.hh"
 #include "load/open_loop.hh"
+#include "obs/profiler.hh"
+#include "sim/profile_scope.hh"
 #include "sim/simulation.hh"
 
 namespace f4t
@@ -72,6 +77,9 @@ struct ScenarioResult
     double connsPerSec = 0;
     bool hasConnRate = false;
     std::uint64_t fingerprint = 0;
+    /** Set when --profile was active during the measured window. */
+    bool profiled = false;
+    obs::ProfileReport profile;
 
     double
     requestsPerSec() const
@@ -109,6 +117,17 @@ wallSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
+}
+
+/** Under --profile, attribute the measured window's profiler delta. */
+void
+attachProfile(ScenarioResult &result, const sim::prof::Snapshot &before)
+{
+    if (!bench::Obs::profiling())
+        return;
+    result.profiled = true;
+    result.profile = obs::makeProfileReport(sim::prof::since(before),
+                                            result.wallSeconds);
 }
 
 /** Engine sizing shared by every scenario host. */
@@ -190,12 +209,14 @@ runOpenLoop(const OpenLoopScenario &sc)
     std::uint64_t drops0 = world.fabric->totalDropped();
     latency.reset();
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
     auto wall0 = std::chrono::steady_clock::now();
     world.sim.runFor(sc.window);
 
     ScenarioResult result;
     result.name = sc.name;
     result.wallSeconds = wallSince(wall0);
+    attachProfile(result, prof_before);
     result.windowSeconds =
         static_cast<double>(sc.window) / sim::ticksPerSecond;
     std::uint64_t goodput1 = server.valueBytesIn();
@@ -282,12 +303,14 @@ runChurn(const std::string &name, std::size_t num_clients,
     std::uint64_t drops0 = world.fabric->totalDropped();
     lifecycle.reset();
 
+    sim::prof::Snapshot prof_before = sim::prof::capture();
     auto wall0 = std::chrono::steady_clock::now();
     world.sim.runFor(window);
 
     ScenarioResult result;
     result.name = name;
     result.wallSeconds = wallSince(wall0);
+    attachProfile(result, prof_before);
     result.windowSeconds =
         static_cast<double>(window) / sim::ticksPerSecond;
     std::uint64_t bytes1 = 0;
@@ -341,7 +364,7 @@ writeJson(const std::string &path,
     for (const ScenarioResult &r : results)
         max_threads = std::max(max_threads, unsigned(r.threads));
 
-    std::fprintf(out, "{\n  \"bench\": \"scenarios\",\n  \"schema\": 4,\n");
+    std::fprintf(out, "{\n  \"bench\": \"scenarios\",\n  \"schema\": 5,\n");
     bench::writeRunMeta(out, 2, max_threads);
     std::fprintf(out, ",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -368,6 +391,10 @@ writeJson(const std::string &path,
         if (r.hasConnRate)
             std::fprintf(out, "      \"conns_per_sec\": %.1f,\n",
                          r.connsPerSec);
+        if (r.profiled) {
+            obs::writeProfileJson(out, r.profile, 6);
+            std::fprintf(out, ",\n");
+        }
         std::fprintf(out,
                      "      \"fingerprint\": \"%016llx\"\n"
                      "    }%s\n",
@@ -475,6 +502,14 @@ main(int argc, char **argv)
                       std::to_string(r.switchDrops), fp});
     }
     table.print();
+
+    if (bench::Obs::profiling()) {
+        std::printf("\nper-scenario wall-clock cost attribution:\n");
+        for (const ScenarioResult &r : results) {
+            std::printf("%s:\n", r.name.c_str());
+            obs::printProfileTable(stdout, r.profile);
+        }
+    }
 
     // Determinism cross-check: rebuild and re-run the incast scenario
     // from scratch; the fingerprint hashes simulated quantities only,

@@ -96,6 +96,9 @@ struct ParallelEnginePairWorld
         executor.addPartition(simA, "endpointA");
         executor.addPartition(simB, "endpointB");
         link->registerChannels(executor);
+        // Partition 0's registry: the coordinator runs endpointA and
+        // refreshes these scalars between windows on the same thread.
+        executor.registerStats(simA.stats());
     }
 
     apps::F4tSocketApi

@@ -237,6 +237,9 @@ struct ParallelStarWorld
         executor.addPartition(simClients, "clients");
         executor.addPartition(simServer, "server");
         serverLink->registerChannels(executor);
+        // Partition 0's registry: the coordinator runs the clients
+        // partition and refreshes these scalars between windows.
+        executor.registerStats(simClients.stats());
     }
 
     apps::F4tSocketApi

@@ -8,6 +8,27 @@ namespace f4t::core
 using tcp::EventFlags;
 using tcp::EventValid;
 
+namespace
+{
+
+/** Fine-grained profiling bucket per absorbed TCP event kind. */
+sim::prof::Cat
+profileCategory(tcp::TcpEventType type)
+{
+    switch (type) {
+    case tcp::TcpEventType::userSend: return sim::prof::Cat::fpcUserSend;
+    case tcp::TcpEventType::userRecv: return sim::prof::Cat::fpcUserRecv;
+    case tcp::TcpEventType::userConnect:
+        return sim::prof::Cat::fpcUserConnect;
+    case tcp::TcpEventType::userClose: return sim::prof::Cat::fpcUserClose;
+    case tcp::TcpEventType::rxSegment: return sim::prof::Cat::fpcRxSegment;
+    case tcp::TcpEventType::timeout: return sim::prof::Cat::fpcTimeout;
+    }
+    return sim::prof::Cat::fpcExec;
+}
+
+} // namespace
+
 Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
          const tcp::FpuProgram &program, const FpcConfig &config)
     : ClockedObject(sim, std::move(name), domain), program_(program),
@@ -311,6 +332,9 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
         lastEventCycle_ = cycle;
         anyEventHandled_ = true;
     });
+    // Nested under the FPC tick's module scope: self-time accounting
+    // moves this event's cost out of fpc_exec into its kind bucket.
+    sim::prof::Scope event_scope(profileCategory(event.type));
     ++eventsHandled_;
     F4T_TRACE_CD(Fpc, clock(), "%s: absorb %s flow=%u", name().c_str(),
                  tcp::toString(event.type), event.flow);
@@ -347,6 +371,7 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
 void
 Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
 {
+    sim::prof::Scope pass_scope(sim::prof::Cat::fpcFpuPass);
     Slot &slot = slots_[index];
     FpuJob &job = fpuPipe_.push_default();
     // Merge straight into the pipe slot: one table read into the job
@@ -377,6 +402,7 @@ Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
 void
 Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 {
+    sim::prof::Scope pass_scope(sim::prof::Cat::fpcFpuPass);
     Slot &slot = slots_[job.slotIndex];
     f4t_assert(slot.occupied && slot.flow == job.flow,
                "%s: write-back to a recycled slot", name().c_str());

@@ -133,6 +133,12 @@ class DeliveryPort : public sim::SimObject, public DeliveryTarget
         {
             return owner_.name() + ".deliver";
         }
+        const char *profileTag() const override
+        {
+            // Port names carry "link" ("link.aToB"), so the profiler
+            // buckets delivery drains into link_switch.
+            return owner_.name().c_str();
+        }
         DeliveryPort &owner_;
     };
 

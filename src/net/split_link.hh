@@ -73,7 +73,7 @@ class LinkCrossing : public sim::CrossChannel, public DeliveryTarget
     bool idle() const override { return mailbox_.empty(); }
 
     /** Ring overflows since construction (see SpscMailbox). */
-    std::uint64_t spillsObserved() const
+    std::uint64_t spillsObserved() const override
     {
         return mailbox_.spillsObserved();
     }

@@ -134,6 +134,7 @@ class Switch : public sim::SimObject
         {
             return owner->name() + ".port" + std::to_string(port) + ".drain";
         }
+        const char *profileTag() const override { return "switch.drain"; }
         Switch *owner = nullptr;
         std::size_t port = 0;
     };

@@ -1,0 +1,168 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+
+namespace f4t::obs
+{
+
+namespace
+{
+
+constexpr double nsPerUs = 1e3;
+
+double
+usOf(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / nsPerUs;
+}
+
+} // namespace
+
+ProfileReport
+makeProfileReport(const sim::prof::Snapshot &delta, double wall_seconds,
+                  unsigned threads)
+{
+    ProfileReport report;
+    report.wallSeconds = wall_seconds;
+    report.threads = threads == 0 ? 1 : threads;
+    report.totalUs = usOf(delta.totalNs());
+    report.events = delta.totalCount();
+
+    for (std::size_t c = 0; c < sim::prof::categoryCount; ++c) {
+        if (delta.ns[c] == 0 && delta.count[c] == 0)
+            continue;
+        ProfileRow row;
+        row.name = sim::prof::toString(static_cast<sim::prof::Cat>(c));
+        row.selfUs = usOf(delta.ns[c]);
+        row.count = delta.count[c];
+        report.rows.push_back(std::move(row));
+    }
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const ProfileRow &a, const ProfileRow &b) {
+                  return a.selfUs != b.selfUs ? a.selfUs > b.selfUs
+                                              : a.name < b.name;
+              });
+    for (ProfileRow &row : report.rows)
+        row.sharePct =
+            report.totalUs > 0.0 ? 100.0 * row.selfUs / report.totalUs : 0.0;
+
+    // Coverage: attributed self time against the wall-clock budget of
+    // every thread that could have been accumulating (serial runs have
+    // exactly one, so this is the ISSUE's >= 90% bar directly).
+    double budget_us = wall_seconds * 1e6 * report.threads;
+    report.coveragePct =
+        budget_us > 0.0 ? 100.0 * report.totalUs / budget_us : 0.0;
+    return report;
+}
+
+void
+attachWorkerProfiles(ProfileReport &report,
+                     const std::vector<sim::WorkerProfile> &before,
+                     const std::vector<sim::WorkerProfile> &after)
+{
+    report.workers.clear();
+    double busy_us = 0.0;
+    for (std::size_t w = 0; w < after.size(); ++w) {
+        sim::WorkerProfile base =
+            w < before.size() ? before[w] : sim::WorkerProfile{};
+        ProfileWorker worker;
+        worker.busyUs = usOf(after[w].busyNs - base.busyNs);
+        worker.idleUs = usOf(after[w].idleNs - base.idleNs);
+        worker.barrierUs = usOf(after[w].barrierNs - base.barrierNs);
+        busy_us += worker.busyUs;
+        report.workers.push_back(worker);
+    }
+    double budget_us = report.wallSeconds * 1e6 *
+                       static_cast<double>(report.workers.empty()
+                                               ? 1
+                                               : report.workers.size());
+    report.occupancyPct =
+        budget_us > 0.0 ? 100.0 * busy_us / budget_us : 0.0;
+}
+
+void
+printProfileTable(std::FILE *out, const ProfileReport &report)
+{
+    std::fprintf(out,
+                 "  profile: %.3f ms wall x %u thread%s, %.3f ms "
+                 "attributed (%.1f%% coverage), %llu scopes\n",
+                 report.wallSeconds * 1e3, report.threads,
+                 report.threads == 1 ? "" : "s", report.totalUs / 1e3,
+                 report.coveragePct,
+                 static_cast<unsigned long long>(report.events));
+    std::fprintf(out, "    %-18s %12s %7s %12s %10s\n", "category",
+                 "self_us", "share", "count", "ns/scope");
+    for (const ProfileRow &row : report.rows) {
+        double per_scope =
+            row.count > 0
+                ? row.selfUs * nsPerUs / static_cast<double>(row.count)
+                : 0.0;
+        std::fprintf(out, "    %-18s %12.1f %6.1f%% %12llu %10.1f\n",
+                     row.name.c_str(), row.selfUs, row.sharePct,
+                     static_cast<unsigned long long>(row.count), per_scope);
+    }
+    if (!report.workers.empty()) {
+        std::fprintf(out,
+                     "    executor threads (occupancy %.1f%%):\n",
+                     report.occupancyPct);
+        for (std::size_t w = 0; w < report.workers.size(); ++w) {
+            const ProfileWorker &worker = report.workers[w];
+            std::fprintf(out,
+                         "      %s%zu: busy %.1f us, %s %.1f us\n",
+                         w == 0 ? "coordinator" : "worker", w,
+                         worker.busyUs, w == 0 ? "barrier" : "idle",
+                         w == 0 ? worker.barrierUs : worker.idleUs);
+        }
+    }
+}
+
+void
+writeProfileJson(std::FILE *out, const ProfileReport &report, int indent)
+{
+    std::fprintf(out,
+                 "%*s\"profile\": {\n"
+                 "%*s  \"wall_seconds\": %.6f,\n"
+                 "%*s  \"threads\": %u,\n"
+                 "%*s  \"total_us\": %.1f,\n"
+                 "%*s  \"coverage_pct\": %.1f,\n"
+                 "%*s  \"categories\": {",
+                 indent, "", indent, "", report.wallSeconds, indent, "",
+                 report.threads, indent, "", report.totalUs, indent, "",
+                 report.coveragePct, indent, "");
+    for (std::size_t i = 0; i < report.rows.size(); ++i) {
+        const ProfileRow &row = report.rows[i];
+        std::fprintf(out,
+                     "%s\n"
+                     "%*s    \"%s\": { \"self_us\": %.1f, \"count\": %llu, "
+                     "\"share_pct\": %.1f }",
+                     i == 0 ? "" : ",", indent, "", row.name.c_str(),
+                     row.selfUs, static_cast<unsigned long long>(row.count),
+                     row.sharePct);
+    }
+    std::fprintf(out, "\n%*s  }", indent, "");
+    if (!report.workers.empty()) {
+        // Worker fields are *_micros, not *_us: they live inside an
+        // array (which f4t_report's metric walk skips), and the names
+        // stay off the direction heuristic on purpose — busy time is
+        // neither better high nor low.
+        std::fprintf(out,
+                     ",\n"
+                     "%*s  \"occupancy_pct\": %.1f,\n"
+                     "%*s  \"workers\": [",
+                     indent, "", report.occupancyPct, indent, "");
+        for (std::size_t w = 0; w < report.workers.size(); ++w) {
+            const ProfileWorker &worker = report.workers[w];
+            std::fprintf(out,
+                         "%s\n"
+                         "%*s    { \"busy_micros\": %.1f, "
+                         "\"idle_micros\": %.1f, "
+                         "\"barrier_micros\": %.1f }",
+                         w == 0 ? "" : ",", indent, "", worker.busyUs,
+                         worker.idleUs, worker.barrierUs);
+        }
+        std::fprintf(out, "\n%*s  ]", indent, "");
+    }
+    std::fprintf(out, "\n%*s}", indent, "");
+}
+
+} // namespace f4t::obs

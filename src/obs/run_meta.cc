@@ -2,6 +2,7 @@
 
 #include "obs/json.hh"
 #include "sim/check.hh"
+#include "sim/profile_scope.hh"
 #include "sim/trace.hh"
 
 #include <ctime>
@@ -27,6 +28,8 @@ currentRunMeta()
     meta.preset = F4T_PRESET_NAME;
     meta.traceEnabled = sim::trace::compiledIn;
     meta.checksEnabled = sim::checksEnabled;
+    meta.profileEnabled = sim::prof::compiledIn;
+    meta.profiled = sim::prof::enabled();
 
     std::time_t now = std::time(nullptr);
     std::tm utc{};
@@ -47,6 +50,8 @@ writeMetaJson(std::FILE *out, const RunMeta &meta, int indent)
                  "%*s  \"preset\": \"%s\",\n"
                  "%*s  \"trace_enabled\": %s,\n"
                  "%*s  \"checks_enabled\": %s,\n"
+                 "%*s  \"profile_enabled\": %s,\n"
+                 "%*s  \"profiled\": %s,\n"
                  "%*s  \"timestamp\": \"%s\",\n"
                  "%*s  \"threads\": %u\n"
                  "%*s}",
@@ -54,6 +59,8 @@ writeMetaJson(std::FILE *out, const RunMeta &meta, int indent)
                  meta.preset.c_str(), indent, "",
                  meta.traceEnabled ? "true" : "false", indent, "",
                  meta.checksEnabled ? "true" : "false", indent, "",
+                 meta.profileEnabled ? "true" : "false", indent, "",
+                 meta.profiled ? "true" : "false", indent, "",
                  meta.timestamp.c_str(), indent, "", meta.threads, indent,
                  "");
 }
@@ -72,6 +79,10 @@ parseRunMeta(const JsonValue &meta)
         out.traceEnabled = v->boolOr(out.traceEnabled);
     if (const JsonValue *v = meta.find("checks_enabled"))
         out.checksEnabled = v->boolOr(out.checksEnabled);
+    if (const JsonValue *v = meta.find("profile_enabled"))
+        out.profileEnabled = v->boolOr(out.profileEnabled);
+    if (const JsonValue *v = meta.find("profiled"))
+        out.profiled = v->boolOr(out.profiled);
     if (const JsonValue *v = meta.find("timestamp"))
         out.timestamp = v->stringOr(out.timestamp);
     if (const JsonValue *v = meta.find("threads"))
@@ -98,6 +109,18 @@ comparableRuns(const RunMeta &a, const RunMeta &b, std::string *why)
         if (why)
             *why = "F4T_ENABLE_CHECKS differs (invariant checks change "
                    "the hot path cost)";
+        return false;
+    }
+    if (a.profileEnabled != b.profileEnabled) {
+        if (why)
+            *why = "F4T_ENABLE_PROFILE differs (the profiler's runtime "
+                   "gate costs a branch per event when compiled in)";
+        return false;
+    }
+    if (a.profiled != b.profiled) {
+        if (why)
+            *why = "--profile differs (scoped timers add per-event clock "
+                   "reads while enabled)";
         return false;
     }
     return true;

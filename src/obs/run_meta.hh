@@ -25,6 +25,10 @@ struct RunMeta
     std::string preset = "unknown";
     bool traceEnabled = false;
     bool checksEnabled = false;
+    /** F4T_ENABLE_PROFILE compiled in (the gate, not whether it ran). */
+    bool profileEnabled = false;
+    /** This run actually measured with --profile (scoped timers hot). */
+    bool profiled = false;
     /** ISO-8601 UTC wall time of the run ("" when not recorded). */
     std::string timestamp;
     /**

@@ -14,6 +14,15 @@ constexpr std::size_t bitsWords = EventQueue::numBuckets / 64;
 static_assert(EventQueue::numBuckets % 64 == 0,
               "ladder buckets must fill whole bitmap words");
 
+/** Profiling category for a firing event, via its cheap tag. */
+prof::Cat
+eventCategory(const Event *ev)
+{
+    const char *tag = ev->profileTag();
+    return tag != nullptr ? prof::categorizeTagCached(tag)
+                          : prof::Cat::otherEvent;
+}
+
 } // namespace
 
 Event::~Event()
@@ -510,7 +519,12 @@ EventQueue::fire(Event *ev, Tick when, bool self_deleting)
     f4t_assert(liveEvents_ > 0, "live event count underflow");
     --liveEvents_;
     ++processed_;
-    ev->process();
+    if (prof::enabled()) {
+        prof::Scope event_scope(eventCategory(ev));
+        ev->process();
+    } else {
+        ev->process();
+    }
     if (self_deleting)
         recycleCallback(static_cast<CallbackEvent *>(ev));
 }

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profile_scope.hh"
 #include "sim/small_function.hh"
 #include "sim/types.hh"
 
@@ -90,6 +91,16 @@ class Event
 
     /** Human-readable description for debugging. */
     virtual std::string description() const { return "generic event"; }
+
+    /**
+     * Cheap tag for wall-clock cost attribution (profile builds): a
+     * stable C string the profiler buckets into a prof::Cat, or
+     * nullptr for Cat::otherEvent. Unlike description(), this must not
+     * allocate — it is consulted on every event fire when profiling is
+     * runtime-enabled. The returned pointer only needs to stay valid
+     * for the duration of the fire (it is looked up, not retained).
+     */
+    virtual const char *profileTag() const { return nullptr; }
 
     bool scheduled() const { return scheduled_; }
     Tick when() const { return when_; }
@@ -232,6 +243,11 @@ class EventQueue
     Tick
     run(Tick limit = maxTick)
     {
+        // Root profiling scope: queue bookkeeping (ladder scans, heap
+        // ops, pops) accrues here as self time once per-event scopes
+        // subtract themselves out; its elapsed total is the wall time
+        // the per-category attribution must sum to.
+        prof::Scope profile_root(prof::Cat::eventQueue);
         while (runOne(limit)) {
         }
         if (now_ < limit && limit != maxTick)
@@ -312,6 +328,7 @@ class EventQueue
         CallbackEvent() = default;
         void process() override { fn_(); }
         std::string description() const override { return what_; }
+        const char *profileTag() const override { return what_; }
 
       private:
         friend class EventQueue;

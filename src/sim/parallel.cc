@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profile_scope.hh"
+
 namespace f4t::sim
 {
 
@@ -77,6 +79,45 @@ ParallelExecutor::minNextEvent() const
     return next;
 }
 
+std::uint64_t
+ParallelExecutor::mailboxSpills() const
+{
+    std::uint64_t total = 0;
+    for (const CrossChannel *channel : channels_)
+        total += channel->spillsObserved();
+    return total;
+}
+
+std::vector<WorkerProfile>
+ParallelExecutor::workerProfiles() const
+{
+    std::vector<WorkerProfile> out(profiles_.size());
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        out[i].busyNs = profiles_[i].busyNs;
+        out[i].idleNs = profiles_[i].idleNs;
+        out[i].barrierNs = profiles_[i].barrierNs;
+    }
+    return out;
+}
+
+void
+ParallelExecutor::registerStats(StatRegistry &registry)
+{
+    f4t_assert(stats_ == nullptr, "executor stats already registered");
+    stats_ = std::make_unique<ExecutorStats>(registry);
+    publishStats();
+}
+
+void
+ParallelExecutor::publishStats()
+{
+    if (stats_ == nullptr)
+        return;
+    stats_->windows = static_cast<double>(windows_);
+    stats_->crossDelivered = static_cast<double>(crossDelivered_);
+    stats_->mailboxSpills = static_cast<double>(mailboxSpills());
+}
+
 Tick
 ParallelExecutor::run(Tick limit)
 {
@@ -86,6 +127,7 @@ ParallelExecutor::run(Tick limit)
                "from it)");
     if (!started_) {
         started_ = true;
+        profiles_.resize(effectiveThreads());
         startWorkers();
     }
     const Tick window = lookahead();
@@ -123,9 +165,14 @@ ParallelExecutor::run(Tick limit)
         runWindow(window_end);
         horizon_ = window_end;
         ++windows_;
+        // Workers are parked at this point, so the coordinator may
+        // touch partition 0's registry: StatSampler series inside the
+        // next window read fresh executor counters.
+        publishStats();
         if (window_end == limit)
             break;
     }
+    publishStats();
     return horizon_;
 }
 
@@ -144,9 +191,15 @@ void
 ParallelExecutor::runWindow(Tick window_end)
 {
     std::size_t threads = effectiveThreads();
+    // Per-window clock reads only while the self-profiler is on: the
+    // executor's own introspection must not tax un-profiled runs.
+    const bool timed = prof::enabled();
     if (threads <= 1 || workers_.empty()) {
+        std::uint64_t t0 = timed ? prof::detail::nowNs() : 0;
         for (Partition &partition : partitions_)
             runPartition(partition, window_end);
+        if (timed)
+            profiles_[0].busyNs += prof::detail::nowNs() - t0;
         return;
     }
 
@@ -159,11 +212,17 @@ ParallelExecutor::runWindow(Tick window_end)
     startCv_.notify_all();
 
     // The coordinator doubles as worker 0.
+    std::uint64_t t0 = timed ? prof::detail::nowNs() : 0;
     for (std::size_t i = 0; i < partitions_.size(); i += threads)
         runPartition(partitions_[i], window_end);
+    std::uint64_t t1 = timed ? prof::detail::nowNs() : 0;
+    if (timed)
+        profiles_[0].busyNs += t1 - t0;
 
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [&] { return workersDone_ == workers_.size(); });
+    if (timed)
+        profiles_[0].barrierNs += prof::detail::nowNs() - t1;
 }
 
 void
@@ -196,7 +255,9 @@ ParallelExecutor::workerLoop(std::size_t worker_index)
     std::size_t threads = effectiveThreads();
     std::uint64_t seen = 0;
     while (true) {
+        bool timed = prof::enabled();
         Tick window_end;
+        std::uint64_t park0 = timed ? prof::detail::nowNs() : 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             startCv_.wait(lock, [&] {
@@ -207,10 +268,15 @@ ParallelExecutor::workerLoop(std::size_t worker_index)
             seen = windowSeq_;
             window_end = windowEnd_;
         }
+        std::uint64_t t0 = timed ? prof::detail::nowNs() : 0;
+        if (timed)
+            profiles_[worker_index].idleNs += t0 - park0;
         for (std::size_t i = worker_index; i < partitions_.size();
              i += threads) {
             runPartition(partitions_[i], window_end);
         }
+        if (timed)
+            profiles_[worker_index].busyNs += prof::detail::nowNs() - t0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++workersDone_;

@@ -37,12 +37,14 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace f4t::sim
@@ -75,6 +77,26 @@ class CrossChannel
 
     /** True when no pushed entry is awaiting drainInto(). */
     virtual bool idle() const = 0;
+
+    /** Times the producing side overflowed the channel's fast-path
+     *  ring and fell back to the locked spill queue (0 for channels
+     *  without one). Monotonic; read by the executor at barriers. */
+    virtual std::uint64_t spillsObserved() const { return 0; }
+};
+
+/**
+ * Wall-clock breakdown of one executor thread, cumulative nanoseconds
+ * since the first run(). Populated only while the self-profiler is
+ * runtime-enabled (prof::enabled()); index 0 is the coordinator, which
+ * reports barrier time instead of idle time (its "idle" is waiting on
+ * the done barrier), workers report idle (parked between windows) and
+ * no barrier time.
+ */
+struct WorkerProfile
+{
+    std::uint64_t busyNs = 0;    ///< executing partition event loops
+    std::uint64_t idleNs = 0;    ///< parked waiting for a window release
+    std::uint64_t barrierNs = 0; ///< coordinator: waiting for workers
 };
 
 class ParallelExecutor
@@ -146,6 +168,28 @@ class ParallelExecutor
     std::uint64_t windowsRun() const { return windows_; }
     /** Cross-partition entries delivered at barriers. */
     std::uint64_t crossEventsDelivered() const { return crossDelivered_; }
+    /** Sum of every channel's ring-overflow spill count. */
+    std::uint64_t mailboxSpills() const;
+
+    /**
+     * Per-thread busy/idle/barrier wall-clock breakdown (see
+     * WorkerProfile). Entry 0 is the coordinator. All zeros unless the
+     * self-profiler was runtime-enabled during run(). Call only
+     * between run() calls — workers are parked then, so the window
+     * barrier's mutex makes the read race-free.
+     */
+    std::vector<WorkerProfile> workerProfiles() const;
+
+    /**
+     * Publish executor counters (windows, cross deliveries, mailbox
+     * spills) as Scalars in @p registry, refreshed at every window
+     * barrier — StatSampler time-series can plot them in any build,
+     * profile or not. @p registry must belong to partition 0 (the
+     * coordinator runs that partition and updates the scalars between
+     * windows on the same thread, keeping the registry's
+     * one-thread-per-partition value contract).
+     */
+    void registerStats(StatRegistry &registry);
 
   private:
     struct Partition
@@ -164,11 +208,42 @@ class ParallelExecutor
     void workerLoop(std::size_t worker_index);
     /** Earliest possibly-live event tick across all partitions. */
     Tick minNextEvent() const;
+    /** Refresh the registerStats() scalars (coordinator thread only). */
+    void publishStats();
+
+    /** WorkerProfile on its own cache line: each thread increments its
+     *  slot inside the window, so neighbors must not false-share. */
+    struct alignas(64) PaddedProfile
+    {
+        std::uint64_t busyNs = 0;
+        std::uint64_t idleNs = 0;
+        std::uint64_t barrierNs = 0;
+    };
+
+    /** Scalars created by registerStats() (optional, coordinator-owned). */
+    struct ExecutorStats
+    {
+        ExecutorStats(StatRegistry &registry)
+            : windows(registry, "executor.windows",
+                      "time windows executed (barriers crossed)"),
+              crossDelivered(registry, "executor.crossDelivered",
+                             "cross-partition entries delivered at barriers"),
+              mailboxSpills(registry, "executor.mailboxSpills",
+                            "mailbox ring overflows onto the locked spill "
+                            "path")
+        {}
+
+        Scalar windows;
+        Scalar crossDelivered;
+        Scalar mailboxSpills;
+    };
 
     std::size_t requestedThreads_;
     bool started_ = false;
     std::vector<Partition> partitions_;
     std::vector<CrossChannel *> channels_;
+    std::vector<PaddedProfile> profiles_;
+    std::unique_ptr<ExecutorStats> stats_;
 
     Tick horizon_ = 0;
     std::uint64_t windows_ = 0;

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Wall-clock self-profiler core: scoped steady-clock timers with
+ * thread-local accumulators, attributing the simulator's own CPU time
+ * to event categories and modules.
+ *
+ * Everything observability-adjacent in this codebase follows the same
+ * two-level gate, and so does the profiler:
+ *
+ *  1. Compile gate: F4T_ENABLE_PROFILE (CMake option, default ON; the
+ *     release perf preset turns it OFF). With the gate off, Scope is
+ *     an empty struct and enabled() is constexpr false, so every
+ *     instrumentation site folds to nothing — the zero-cost proof is
+ *     the release-preset fingerprints and event_rate staying bit- and
+ *     band-identical, the same bar the trace layer met.
+ *  2. Runtime gate: setEnabled(true), flipped by `--profile` in
+ *     bench::Obs. With the build gate on but the runtime gate off, an
+ *     instrumentation site costs one relaxed atomic load and a
+ *     predictable branch.
+ *
+ * Attribution model: scopes nest on a per-thread stack and record
+ * *self* time — a scope's elapsed time minus the elapsed time of the
+ * scopes nested inside it. EventQueue::run() opens a root scope
+ * (Cat::eventQueue), EventQueue::fire() opens one per event
+ * (categorized from the event's profileTag()), and hot modules open
+ * finer scopes inside their event handlers. Because every child's
+ * total is subtracted from its parent exactly once, the per-category
+ * self times sum to the root scopes' elapsed wall time — which is how
+ * the bench harnesses can assert that attributed time covers >= 90% of
+ * a measured run.
+ *
+ * Threading: accumulators are plain (non-atomic) per-thread blocks,
+ * registered once in a global list and intentionally leaked so a
+ * capture() can outlive the thread. capture() merges all blocks; call
+ * it only when no profiled scope can be mid-flight on another thread.
+ * The parallel executor's window barrier provides the happens-before
+ * edge for its workers (they are parked between runs), so capturing
+ * between run() calls is race-free, including under TSan.
+ */
+
+#ifndef F4T_SIM_PROFILE_SCOPE_HH
+#define F4T_SIM_PROFILE_SCOPE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace f4t::sim::prof
+{
+
+#ifdef F4T_ENABLE_PROFILE
+constexpr bool compiledIn = true;
+#else
+constexpr bool compiledIn = false;
+#endif
+
+/**
+ * Cost categories. Coarse module buckets (one per major simulator
+ * subsystem) plus fine per-TcpEvent-kind buckets that the FPC opens
+ * *inside* its module scope — self-time accounting keeps the two
+ * levels additive instead of double-counted.
+ */
+enum class Cat : std::uint8_t
+{
+    eventQueue = 0, ///< queue bookkeeping: ladder scans, heap ops, pops
+    fpcExec,        ///< FPC tick outside the split-out phases below
+    fpcFpuPass,     ///< FPU issue + write-back
+    fpcUserSend,    ///< Fpc::handleEvent, per absorbed event kind
+    fpcUserRecv,
+    fpcUserConnect,
+    fpcUserClose,
+    fpcRxSegment,
+    fpcTimeout,
+    scheduler,   ///< event pre-routing / FPC selection
+    linkSwitch,  ///< cable serialization, delivery ports, switch drains
+    hostComplex, ///< PCIe, CPU cores, runtime polling, host interface
+    rxParse,     ///< RX parser
+    packetGen,   ///< TX packet generator
+    memory,      ///< memory manager + DRAM model
+    timerWheel,  ///< timer wheel arm/fire
+    app,         ///< applications and socket APIs
+    obsSink,     ///< stat sampling, audits, trace sinks
+    harness,     ///< bench driver work outside the simulation proper
+    otherEvent,  ///< events with no (or an unrecognized) tag
+    numCats
+};
+
+constexpr std::size_t categoryCount = static_cast<std::size_t>(Cat::numCats);
+
+/** Stable lower_snake name, used for JSON keys and table rows. */
+inline const char *
+toString(Cat cat)
+{
+    switch (cat) {
+    case Cat::eventQueue: return "event_queue";
+    case Cat::fpcExec: return "fpc_exec";
+    case Cat::fpcFpuPass: return "fpc_fpu_pass";
+    case Cat::fpcUserSend: return "fpc_user_send";
+    case Cat::fpcUserRecv: return "fpc_user_recv";
+    case Cat::fpcUserConnect: return "fpc_user_connect";
+    case Cat::fpcUserClose: return "fpc_user_close";
+    case Cat::fpcRxSegment: return "fpc_rx_segment";
+    case Cat::fpcTimeout: return "fpc_timeout";
+    case Cat::scheduler: return "scheduler";
+    case Cat::linkSwitch: return "link_switch";
+    case Cat::hostComplex: return "host_complex";
+    case Cat::rxParse: return "rx_parse";
+    case Cat::packetGen: return "packet_gen";
+    case Cat::memory: return "memory";
+    case Cat::timerWheel: return "timer_wheel";
+    case Cat::app: return "app";
+    case Cat::obsSink: return "obs_sink";
+    case Cat::harness: return "harness";
+    case Cat::otherEvent: return "other_event";
+    case Cat::numCats: break;
+    }
+    return "invalid";
+}
+
+class Scope;
+
+namespace detail
+{
+
+/** Per-thread accumulators: plain integers, written only by the
+ *  owning thread (see the threading contract in the file comment). */
+struct ThreadBlock
+{
+    std::uint64_t ns[categoryCount] = {};
+    std::uint64_t count[categoryCount] = {};
+};
+
+struct BlockRegistry
+{
+    std::mutex mutex;
+    /** Leaked on purpose: capture() may run after a worker exited. */
+    std::vector<ThreadBlock *> blocks;
+};
+
+inline BlockRegistry &
+blockRegistry()
+{
+    // Immortal (never destroyed): the whole-process atexit report in
+    // bench::Obs registers before the first Scope constructs this, so
+    // a plain function-local static would be torn down first and
+    // capture() would lock a destroyed mutex.
+    static BlockRegistry *registry = new BlockRegistry;
+    return *registry;
+}
+
+inline ThreadBlock &
+threadBlock()
+{
+    thread_local ThreadBlock *block = [] {
+        auto *fresh = new ThreadBlock;
+        BlockRegistry &registry = blockRegistry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        registry.blocks.push_back(fresh);
+        return fresh;
+    }();
+    return *block;
+}
+
+inline std::atomic<bool> &
+runtimeEnabled()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline thread_local Scope *tlsCurrentScope = nullptr;
+
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+/** True when profiling is compiled in *and* runtime-enabled. Folds to
+ *  constexpr false in F4T_ENABLE_PROFILE=OFF builds. */
+inline bool
+enabled()
+{
+    if constexpr (!compiledIn)
+        return false;
+    return detail::runtimeEnabled().load(std::memory_order_relaxed);
+}
+
+/** Flip the runtime gate (no-op effect when not compiled in). */
+inline void
+setEnabled(bool on)
+{
+    detail::runtimeEnabled().store(on, std::memory_order_relaxed);
+}
+
+/**
+ * Map an event tag — a module name ("engineA.fpc0"), a callback
+ * call-site tag ("pcie.doorbell"), a drain-event owner ("link.aToB") —
+ * to a category by substring. First match wins; the specific module
+ * names come before the generic fallbacks, so "engineA.scheduler"
+ * lands in scheduler, not otherEvent.
+ */
+inline Cat
+categorizeTag(const char *tag)
+{
+    if (tag == nullptr)
+        return Cat::otherEvent;
+    auto has = [tag](const char *needle) {
+        return std::strstr(tag, needle) != nullptr;
+    };
+    if (has("fpc"))
+        return Cat::fpcExec;
+    if (has("sched"))
+        return Cat::scheduler;
+    if (has("link") || has("switch") || has("fabric") || has("arp") ||
+        has("icmp"))
+        return Cat::linkSwitch;
+    if (has("rxParser") || has("rx_parser"))
+        return Cat::rxParse;
+    if (has("packetGen") || has("pktgen"))
+        return Cat::packetGen;
+    if (has("timer"))
+        return Cat::timerWheel;
+    if (has("memoryManager") || has("memmgr") || has("dram"))
+        return Cat::memory;
+    if (has("pcie") || has("cpu") || has("runtime") ||
+        has("hostInterface") || has("doorbell") || has("linux") ||
+        has("soft_tcp"))
+        return Cat::hostComplex;
+    if (has("stat") || has("sample") || has("audit"))
+        return Cat::obsSink;
+    if (has("app") || has("echo") || has("http") || has("kv") ||
+        has("sock") || has("client") || has("server") || has("churn") ||
+        has("bulk"))
+        return Cat::app;
+    return Cat::otherEvent;
+}
+
+/**
+ * categorizeTag with a per-thread content-keyed memo, for the
+ * per-event hot path. Content-keyed (not pointer-keyed) so a tag
+ * string that is freed and its storage reused — module names die with
+ * their world, and bench harnesses build several worlds per process —
+ * can never alias a stale entry.
+ */
+inline Cat
+categorizeTagCached(const char *tag)
+{
+    struct TagHash
+    {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view s) const
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct TagEq
+    {
+        using is_transparent = void;
+        bool
+        operator()(std::string_view a, std::string_view b) const
+        {
+            return a == b;
+        }
+    };
+    thread_local std::unordered_map<std::string, Cat, TagHash, TagEq> memo;
+    std::string_view key(tag);
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(std::string(key), categorizeTag(tag)).first;
+    return it->second;
+}
+
+/**
+ * RAII self-time scope. Construction is a no-op unless enabled(); an
+ * active scope pushes itself on the thread's scope stack, and its
+ * destructor charges elapsed-minus-children to its own category and
+ * propagates its elapsed total to the parent's child time.
+ */
+class Scope
+{
+#ifdef F4T_ENABLE_PROFILE
+  public:
+    explicit Scope(Cat cat)
+    {
+        if (!enabled())
+            return;
+        active_ = true;
+        cat_ = cat;
+        parent_ = detail::tlsCurrentScope;
+        detail::tlsCurrentScope = this;
+        startNs_ = detail::nowNs();
+    }
+
+    ~Scope()
+    {
+        if (!active_)
+            return;
+        std::uint64_t total = detail::nowNs() - startNs_;
+        std::uint64_t self = total > childNs_ ? total - childNs_ : 0;
+        detail::ThreadBlock &block = detail::threadBlock();
+        block.ns[static_cast<std::size_t>(cat_)] += self;
+        ++block.count[static_cast<std::size_t>(cat_)];
+        detail::tlsCurrentScope = parent_;
+        if (parent_ != nullptr)
+            parent_->childNs_ += total;
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Scope *parent_ = nullptr;
+    std::uint64_t startNs_ = 0;
+    std::uint64_t childNs_ = 0;
+    Cat cat_ = Cat::otherEvent;
+    bool active_ = false;
+#else
+  public:
+    explicit Scope(Cat) {}
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+#endif
+};
+
+/** A merged view of every thread's accumulators at one instant. */
+struct Snapshot
+{
+    std::uint64_t ns[categoryCount] = {};
+    std::uint64_t count[categoryCount] = {};
+
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t v : ns)
+            total += v;
+        return total;
+    }
+
+    std::uint64_t
+    totalCount() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t v : count)
+            total += v;
+        return total;
+    }
+};
+
+/**
+ * Merge every registered thread block. All-zero when not compiled in.
+ * Caller contract: no profiled scope may be mid-flight on another
+ * thread (between executor runs is safe — workers park at the window
+ * barrier, whose mutex provides the happens-before edge).
+ */
+inline Snapshot
+capture()
+{
+    Snapshot snap;
+    if constexpr (!compiledIn)
+        return snap;
+    detail::BlockRegistry &registry = detail::blockRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const detail::ThreadBlock *block : registry.blocks) {
+        for (std::size_t c = 0; c < categoryCount; ++c) {
+            snap.ns[c] += block->ns[c];
+            snap.count[c] += block->count[c];
+        }
+    }
+    return snap;
+}
+
+/** capture() minus @p before, element-wise (saturating at zero). */
+inline Snapshot
+since(const Snapshot &before)
+{
+    Snapshot now = capture();
+    for (std::size_t c = 0; c < categoryCount; ++c) {
+        now.ns[c] = now.ns[c] > before.ns[c] ? now.ns[c] - before.ns[c] : 0;
+        now.count[c] =
+            now.count[c] > before.count[c] ? now.count[c] - before.count[c]
+                                           : 0;
+    }
+    return now;
+}
+
+} // namespace f4t::sim::prof
+
+#define F4T_PROFILE_CONCAT2(a, b) a##b
+#define F4T_PROFILE_CONCAT(a, b) F4T_PROFILE_CONCAT2(a, b)
+/** Declare an anonymous profiling scope for the rest of the block. */
+#define F4T_PROFILE_SCOPE(cat)                                            \
+    ::f4t::sim::prof::Scope F4T_PROFILE_CONCAT(f4t_profile_scope_,        \
+                                               __LINE__)(cat)
+
+#endif // F4T_SIM_PROFILE_SCOPE_HH

@@ -359,6 +359,14 @@ class ClockedObject : public SimObject
             return owner_.name() + ".tick";
         }
 
+        const char *
+        profileTag() const override
+        {
+            // The owner's module name ("engineA.fpc0", "clientNet.cpu")
+            // carries the subsystem; the profiler buckets by substring.
+            return owner_.name().c_str();
+        }
+
         ClockedObject &owner_;
     };
 

@@ -243,6 +243,7 @@ class StatSampler
         {}
         void process() override { owner_.sample(); }
         std::string description() const override { return "stat.sample"; }
+        const char *profileTag() const override { return "stat.sample"; }
         StatSampler &owner_;
     };
 

@@ -106,6 +106,37 @@ TEST(MetricDirection, RatesHigherLatenciesLower)
     EXPECT_FALSE(higher);
 }
 
+TEST(MetricDirection, WallClockThroughputMetricsGateHigher)
+{
+    // The schema-5 wall-clock metrics the CI perf-report gates: all
+    // contain "per_wall", which the higher-better list matches before
+    // the lower-better "wall" substring can claim them.
+    bool higher = false;
+    ASSERT_TRUE(metricDirection("sim_pkts_per_wall_sec_per_flow", &higher));
+    EXPECT_TRUE(higher);
+    ASSERT_TRUE(metricDirection("sim_ticks_per_wall_sec", &higher));
+    EXPECT_TRUE(higher);
+    ASSERT_TRUE(metricDirection("round_trips_per_wall_sec", &higher));
+    EXPECT_TRUE(higher);
+}
+
+TEST(MetricDirection, ProfileCategoriesGateLowerSharesNotAtAll)
+{
+    // Per-category self time regresses upward (lower is better via
+    // the "_us" suffix); shares and coverage are percentages of a
+    // whole with no inherent direction, so they must stay ungated.
+    bool higher = false;
+    ASSERT_TRUE(metricDirection("profile.categories.fpc_exec.self_us",
+                                &higher));
+    EXPECT_FALSE(higher);
+    EXPECT_FALSE(
+        metricDirection("profile.categories.fpc_exec.share_pct", &higher));
+    EXPECT_FALSE(metricDirection("profile.coverage_pct", &higher));
+    EXPECT_FALSE(metricDirection("profile.occupancy_pct", &higher));
+    // The profile's own wall reading stays excluded like wall_seconds.
+    EXPECT_FALSE(metricDirection("profile.wall_seconds", &higher));
+}
+
 TEST(MetricDirection, BookkeepingValuesExcluded)
 {
     bool higher = false;
@@ -128,6 +159,8 @@ TEST(RunMeta, WriteParseRoundTrip)
     meta.preset = "release";
     meta.traceEnabled = true;
     meta.checksEnabled = false;
+    meta.profileEnabled = true;
+    meta.profiled = true;
     meta.timestamp = "2026-08-07T00:00:00Z";
 
     std::string path = tempPath("meta_roundtrip.json");
@@ -151,6 +184,8 @@ TEST(RunMeta, WriteParseRoundTrip)
     EXPECT_EQ(parsed.preset, meta.preset);
     EXPECT_EQ(parsed.traceEnabled, meta.traceEnabled);
     EXPECT_EQ(parsed.checksEnabled, meta.checksEnabled);
+    EXPECT_EQ(parsed.profileEnabled, meta.profileEnabled);
+    EXPECT_EQ(parsed.profiled, meta.profiled);
     EXPECT_EQ(parsed.timestamp, meta.timestamp);
     EXPECT_TRUE(parsed.known());
 }
@@ -184,6 +219,18 @@ TEST(RunMeta, ComparableRunsRefusesMixedBuilds)
     b.checksEnabled = true;
     EXPECT_FALSE(comparableRuns(a, b, &why));
     EXPECT_NE(why.find("check"), std::string::npos);
+
+    // The profiler's compile gate and its runtime switch both change
+    // what a wall-clock metric measures, so neither may be mixed.
+    b = a;
+    b.profileEnabled = true;
+    EXPECT_FALSE(comparableRuns(a, b, &why));
+    EXPECT_NE(why.find("F4T_ENABLE_PROFILE"), std::string::npos);
+
+    b = a;
+    b.profiled = true;
+    EXPECT_FALSE(comparableRuns(a, b, &why));
+    EXPECT_NE(why.find("profile"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Offline analysis of f4t `.flows` request traces (TiNA-style).
+
+The simulator's load layer can journal every dispatched request to a
+text trace (src/load/trace.hh):
+
+    # f4t-flows v1 scenario=<name> seed=<u64>
+    # time_ps client conn op value_bytes
+    12345 0 2 GET 2048
+    12400 1 0 SET 512
+
+This tool characterizes such a trace the way trace-driven network
+analyses (TiNA and the flow-report tooling around FPGA TCP testbeds)
+do: arrival-rate statistics, inter-arrival distribution, value-size
+histograms, and burstiness via the index of dispersion for counts
+(IDC) at several window scales. For a Poisson process the
+inter-arrival CoV and the IDC are both ~1; IDC >> 1 flags bursty
+arrivals, CoV << 1 flags paced/deterministic ones.
+
+Usage:
+    f4t_flows.py TRACE.flows [TRACE2.flows ...]   # human tables
+    f4t_flows.py --json TRACE.flows               # JSON to stdout
+    f4t_flows.py --selftest                       # no file needed
+
+stdlib only — runs anywhere the repo's CI python3 does.
+"""
+
+import argparse
+import json
+import math
+import random
+import sys
+
+PS_PER_SEC = 1_000_000_000_000
+
+
+def parse_flows(lines, path="<stream>"):
+    """Parse a .flows text stream into a dict; raises ValueError."""
+    scenario = None
+    seed = None
+    records = []
+    prev_time = -1
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            # Header: "# f4t-flows v1 scenario=<name> seed=<u64>"
+            parts = line[1:].split()
+            if parts[:2] == ["f4t-flows", "v1"]:
+                for part in parts[2:]:
+                    if part.startswith("scenario="):
+                        scenario = part[len("scenario="):]
+                    elif part.startswith("seed="):
+                        seed = int(part[len("seed="):])
+            continue
+        fields = line.split()
+        if len(fields) != 5:
+            raise ValueError(f"{path}:{line_no}: expected 5 columns, "
+                             f"got {len(fields)}")
+        time_ps = int(fields[0])
+        client = int(fields[1])
+        conn = int(fields[2])
+        op = fields[3]
+        value_bytes = int(fields[4])
+        if op not in ("GET", "SET"):
+            raise ValueError(f"{path}:{line_no}: bad op {op!r}")
+        if time_ps < prev_time:
+            raise ValueError(f"{path}:{line_no}: time_ps decreased "
+                             f"({time_ps} after {prev_time})")
+        prev_time = time_ps
+        records.append((time_ps, client, conn, op, value_bytes))
+    if scenario is None:
+        raise ValueError(f"{path}: missing '# f4t-flows v1' header")
+    return {"scenario": scenario, "seed": seed, "records": records}
+
+
+def percentile(sorted_values, pct):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(pct / 100.0 * len(sorted_values)) - 1)
+    return float(sorted_values[min(rank, len(sorted_values) - 1)])
+
+
+def mean_cov(values):
+    """(mean, coefficient of variation) of a sequence."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    if n < 2 or mean == 0:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var) / mean
+
+
+def index_of_dispersion(times_ps, window_ps):
+    """IDC: Var(counts per window) / Mean(counts per window).
+
+    ~1 for Poisson arrivals at any window scale, >>1 for bursty
+    (clustered) arrivals, <1 for paced/underdispersed ones.
+    """
+    if not times_ps or window_ps <= 0:
+        return 0.0
+    start = times_ps[0]
+    span = times_ps[-1] - start
+    n_windows = max(1, span // window_ps)
+    counts = [0] * n_windows
+    for t in times_ps:
+        idx = min((t - start) // window_ps, n_windows - 1)
+        counts[idx] += 1
+    mean = sum(counts) / len(counts)
+    if len(counts) < 2 or mean == 0:
+        return 0.0
+    var = sum((c - mean) ** 2 for c in counts) / (len(counts) - 1)
+    return var / mean
+
+
+def size_histogram(sizes):
+    """Log2 buckets: {"256-511": count, ...}, ordered by bucket."""
+    buckets = {}
+    for s in sizes:
+        b = 0 if s == 0 else s.bit_length() - 1
+        buckets[b] = buckets.get(b, 0) + 1
+    out = {}
+    for b in sorted(buckets):
+        lo = 0 if b == 0 else 1 << b
+        hi = (1 << (b + 1)) - 1
+        out[f"{lo}-{hi}"] = buckets[b]
+    return out
+
+
+def analyze(trace):
+    """Compute the full analysis dict for one parsed trace."""
+    records = trace["records"]
+    times = [r[0] for r in records]
+    sizes = [r[4] for r in records]
+    gets = sum(1 for r in records if r[3] == "GET")
+    sets = len(records) - gets
+    clients = sorted({r[1] for r in records})
+
+    span_ps = (times[-1] - times[0]) if len(times) >= 2 else 0
+    span_s = span_ps / PS_PER_SEC
+    rate = (len(records) - 1) / span_s if span_s > 0 else 0.0
+
+    inter = [b - a for a, b in zip(times, times[1:])]
+    inter_sorted = sorted(inter)
+    ia_mean, ia_cov = mean_cov(inter)
+
+    # Window scales spanning ~1/1000th to ~1/10th of the trace so the
+    # IDC sees both sub-burst and multi-burst aggregation levels.
+    idc = {}
+    if span_ps > 0:
+        for divisor in (1000, 100, 10):
+            window = max(1, span_ps // divisor)
+            idc[f"span/{divisor}"] = round(
+                index_of_dispersion(times, window), 3)
+
+    per_client = {}
+    for c in clients:
+        ctimes = [r[0] for r in records if r[1] == c]
+        cspan = (ctimes[-1] - ctimes[0]) / PS_PER_SEC if len(
+            ctimes) >= 2 else 0.0
+        per_client[str(c)] = {
+            "requests": len(ctimes),
+            "rate_per_sec": round((len(ctimes) - 1) / cspan, 1)
+            if cspan > 0 else 0.0,
+        }
+
+    return {
+        "scenario": trace["scenario"],
+        "seed": trace["seed"],
+        "requests": len(records),
+        "gets": gets,
+        "sets": sets,
+        "clients": len(clients),
+        "span_seconds": round(span_s, 9),
+        "arrival_rate_per_sec": round(rate, 1),
+        "interarrival_us": {
+            "mean": round(ia_mean / 1e6, 3),
+            "cov": round(ia_cov, 3),
+            "p50": round(percentile(inter_sorted, 50) / 1e6, 3),
+            "p99": round(percentile(inter_sorted, 99) / 1e6, 3),
+        },
+        "burstiness_idc": idc,
+        "value_bytes": {
+            "mean": round(sum(sizes) / len(sizes), 1) if sizes else 0.0,
+            "total": sum(sizes),
+            "histogram": size_histogram(sizes),
+        },
+        "per_client": per_client,
+    }
+
+
+def print_report(result):
+    print(f"scenario {result['scenario']} (seed {result['seed']}): "
+          f"{result['requests']} requests from "
+          f"{result['clients']} clients over "
+          f"{result['span_seconds'] * 1e3:.3f} ms")
+    print(f"  ops: {result['gets']} GET / {result['sets']} SET; "
+          f"arrival rate {result['arrival_rate_per_sec']:.0f}/s")
+    ia = result["interarrival_us"]
+    print(f"  inter-arrival: mean {ia['mean']} us, CoV {ia['cov']}, "
+          f"p50 {ia['p50']} us, p99 {ia['p99']} us")
+    if result["burstiness_idc"]:
+        idc = ", ".join(f"{k}={v}"
+                        for k, v in result["burstiness_idc"].items())
+        print(f"  burstiness (index of dispersion): {idc}")
+    vb = result["value_bytes"]
+    print(f"  value bytes: mean {vb['mean']}, total {vb['total']}")
+    print(f"  {'size bucket':>14} {'count':>8}")
+    for bucket, count in vb["histogram"].items():
+        print(f"  {bucket:>14} {count:>8}")
+
+
+def selftest():
+    """Synthesize a Poisson trace and check the estimators on it."""
+    rng = random.Random(0xF47)
+    rate_per_sec = 200_000.0
+    mean_gap_ps = PS_PER_SEC / rate_per_sec
+    t = 0
+    lines = ["# f4t-flows v1 scenario=selftest seed=3911",
+             "# time_ps client conn op value_bytes"]
+    n = 20_000
+    for i in range(n):
+        t += max(1, int(rng.expovariate(1.0) * mean_gap_ps))
+        op = "GET" if rng.random() < 0.9 else "SET"
+        size = 1 << rng.randint(6, 14)
+        lines.append(f"{t} {i % 8} {i % 4} {op} {size}")
+
+    result = analyze(parse_flows(lines, "<selftest>"))
+
+    def check(name, ok):
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+        return ok
+
+    rate = result["arrival_rate_per_sec"]
+    cov = result["interarrival_us"]["cov"]
+    idc_fine = result["burstiness_idc"]["span/1000"]
+    passed = True
+    passed &= check("request count", result["requests"] == n)
+    passed &= check("GET share ~90%",
+                    0.85 < result["gets"] / n < 0.95)
+    passed &= check(f"rate {rate:.0f}/s within 5% of {rate_per_sec:.0f}",
+                    abs(rate - rate_per_sec) / rate_per_sec < 0.05)
+    passed &= check(f"Poisson inter-arrival CoV {cov} ~ 1",
+                    0.9 < cov < 1.1)
+    passed &= check(f"Poisson IDC {idc_fine} ~ 1",
+                    0.7 < idc_fine < 1.4)
+    passed &= check("histogram covers all requests",
+                    sum(result["value_bytes"]["histogram"].values()) == n)
+
+    # A deterministic (fixed-gap) trace must read as underdispersed.
+    fixed = ["# f4t-flows v1 scenario=fixed seed=1",
+             "# time_ps client conn op value_bytes"]
+    fixed += [f"{(i + 1) * 5_000_000} 0 0 GET 1024" for i in range(2000)]
+    fres = analyze(parse_flows(fixed, "<fixed>"))
+    passed &= check("fixed-gap CoV ~ 0",
+                    fres["interarrival_us"]["cov"] < 0.01)
+    passed &= check("fixed-gap IDC < 0.2",
+                    fres["burstiness_idc"]["span/1000"] < 0.2)
+
+    print("selftest:", "PASS" if passed else "FAIL")
+    return 0 if passed else 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Analyze f4t .flows request traces")
+    parser.add_argument("traces", nargs="*", help=".flows files")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of tables")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run estimator checks on synthetic traces")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.traces:
+        parser.error("no trace files given (or use --selftest)")
+
+    results = []
+    for path in args.traces:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                trace = parse_flows(fh, path)
+        except (OSError, ValueError) as err:
+            print(f"f4t_flows: {err}", file=sys.stderr)
+            return 1
+        if not trace["records"]:
+            print(f"f4t_flows: {path}: no records", file=sys.stderr)
+            return 1
+        results.append(analyze(trace))
+
+    if args.json:
+        json.dump(results[0] if len(results) == 1 else results,
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for i, result in enumerate(results):
+            if i:
+                print()
+            print_report(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
