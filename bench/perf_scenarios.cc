@@ -51,6 +51,7 @@
 #include "apps/testbed_star.hh"
 #include "bench_util.hh"
 #include "load/open_loop.hh"
+#include "load/syn_flood.hh"
 #include "obs/profiler.hh"
 #include "sim/profile_scope.hh"
 #include "sim/simulation.hh"
@@ -155,6 +156,12 @@ struct OpenLoopScenario
     double readFraction = 1.0;
     sim::Tick warmup = 0;
     sim::Tick window = 0;
+    /** Override the engine flow-table size; 0 keeps the default. */
+    std::size_t maxFlows = 0;
+    /** >0 adds a SYN-flood injector at this rate on an extra switch
+     *  port: adversarial half-open churn against the server's passive
+     *  open path while the legit clients are measured. */
+    double synFloodPerSec = 0;
 };
 
 ScenarioResult
@@ -163,8 +170,25 @@ runOpenLoop(const OpenLoopScenario &sc)
     testbed::StarConfig star;
     star.clients = sc.clients;
     star.engine = scenarioEngine(sc.tcpBufferBytes);
+    if (sc.maxFlows > 0)
+        star.engine.maxFlows = sc.maxFlows;
     star.fabric.sharedEgressBytes = sc.sharedEgressBytes;
+    if (sc.synFloodPerSec > 0)
+        star.extraPorts = 1;
     testbed::StarWorld world(star);
+
+    std::unique_ptr<load::SynFloodApp> flood;
+    if (sc.synFloodPerSec > 0) {
+        load::SynFloodConfig flood_config;
+        flood_config.target = testbed::starServerIp();
+        flood_config.targetMac = testbed::starServerMac();
+        flood_config.synsPerSec = sc.synFloodPerSec;
+        flood_config.startAt = sc.warmup / 2;
+        flood = std::make_unique<load::SynFloodApp>(
+            world.sim, "synflood", world.fabric->port(sc.clients + 1),
+            flood_config);
+        flood->start();
+    }
 
     sim::Histogram latency(world.sim.stats(), "bench.latency_us",
                            "open-loop request latency (us)");
@@ -252,6 +276,24 @@ runOpenLoop(const OpenLoopScenario &sc)
     fp.mix(world.serverLink->aToB().bytesSent());
     fp.mix(world.serverLink->bToA().packetsSent());
     fp.mix(world.serverLink->bToA().bytesSent());
+    if (flood) {
+        fp.mix(flood->sent());
+        fp.mix(world.serverEngine->flowsActive());
+        fp.mix(world.fabric->routeMisses());
+        // routeMisses ~ SYN-ACK (re)transmissions toward spoofed
+        // sources; flowsActive ~ half-open flows pinned in the victim.
+        std::printf("%s: %llu SYNs injected, %llu half-open flows "
+                    "pinned, %llu route-missed replies\n"
+                    "  drill into one flood flow from a crash dump: "
+                    "f4t_blackbox --flow 0x%08x <dump.f4tfr>\n",
+                    sc.name.c_str(),
+                    static_cast<unsigned long long>(flood->sent()),
+                    static_cast<unsigned long long>(
+                        world.serverEngine->flowsActive()),
+                    static_cast<unsigned long long>(
+                        world.fabric->routeMisses()),
+                    flood->lastFlowHash());
+    }
     result.fingerprint = fp.state;
     return result;
 }
@@ -466,6 +508,23 @@ main(int argc, char **argv)
     // capture the recovery tail rather than just the survivors.
     incast.window = us(smoke ? 400 : 12000);
 
+    // Poisson GETs under a 1M SYN/s flood (smoke: 200k) against a
+    // 512-flow server table: the flood pins half-open flows until the
+    // table exhausts mid-window, so legit tail latency and goodput are
+    // measured through adversarial control-path overload — passive
+    // opens burning FPC cycles, scheduler churn from half-open
+    // installs, SYN-ACK retransmissions into route-miss drops.
+    OpenLoopScenario synflood;
+    synflood.name = "syn_flood";
+    synflood.clients = 4;
+    synflood.maxFlows = 512;
+    synflood.arrivals =
+        load::ArrivalSpec::poisson(smoke ? 30'000.0 : 100'000.0);
+    synflood.sizes = load::SizeSpec::boundedPareto(1.3, 256, 16384);
+    synflood.synFloodPerSec = smoke ? 200'000.0 : 1'000'000.0;
+    synflood.warmup = us(smoke ? 100 : 300);
+    synflood.window = us(smoke ? 150 : 1500);
+
     // 90/10 GET/SET at log-normal value sizes, 8 x 100k req/s
     // (smoke: 8 x 30k) — the memcached-style mixed workload.
     OpenLoopScenario mixed;
@@ -485,6 +544,7 @@ main(int argc, char **argv)
     results.push_back(runChurn("churn", 8, smoke ? 5'000.0 : 12'500.0,
                                us(200), us(smoke ? 400 : 2500)));
     results.push_back(runOpenLoop(mixed));
+    results.push_back(runOpenLoop(synflood));
 
     bench::Table table({"scenario", "reqs", "req/s", "goodput Gb/s",
                         "p50 us", "p99 us", "p999 us", "drops",

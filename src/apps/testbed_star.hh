@@ -45,7 +45,7 @@ struct StarConfig
     std::size_t clients = 8;
     std::size_t coresPerHost = 1;
     core::EngineConfig engine;
-    net::SwitchConfig fabric; ///< numPorts is overwritten to clients+1
+    net::SwitchConfig fabric; ///< numPorts overwritten to clients+1+extraPorts
     double clientBandwidthBps = 100e9;
     double serverBandwidthBps = 100e9;
     sim::Tick propagationDelay = sim::nanosecondsToTicks(500);
@@ -54,6 +54,9 @@ struct StarConfig
     /** Faults on the server->switch direction; defaults to the
      *  decorrelated reverse of serverLinkFaults. */
     std::optional<net::FaultModel> serverLinkReverseFaults;
+    /** Switch ports beyond clients+1, for raw traffic injectors
+     *  (load::SynFloodApp). No cable or route attaches to them. */
+    std::size_t extraPorts = 0;
 };
 
 inline net::Ipv4Address
@@ -93,7 +96,7 @@ buildStarCommon(World &world, const StarConfig &config,
                 sim::Simulation &client_sim, sim::Simulation &server_sim)
 {
     net::SwitchConfig fabric_config = config.fabric;
-    fabric_config.numPorts = config.clients + 1;
+    fabric_config.numPorts = config.clients + 1 + config.extraPorts;
     world.fabric = std::make_unique<net::Switch>(client_sim, "fabric",
                                                  fabric_config);
 

@@ -1,6 +1,7 @@
 #include "fpc.hh"
 
 #include "sim/causal_trace.hh"
+#include "sim/flight_recorder.hh"
 
 namespace f4t::core
 {
@@ -27,6 +28,23 @@ profileCategory(tcp::TcpEventType type)
     return sim::prof::Cat::fpcExec;
 }
 
+/** Flight-recorder kind per absorbed TCP event kind (same refinement
+ *  the profiler uses, but always compiled in). */
+sim::fr::Kind
+recorderKind(tcp::TcpEventType type)
+{
+    switch (type) {
+    case tcp::TcpEventType::userSend: return sim::fr::Kind::fpcUserSend;
+    case tcp::TcpEventType::userRecv: return sim::fr::Kind::fpcUserRecv;
+    case tcp::TcpEventType::userConnect:
+        return sim::fr::Kind::fpcUserConnect;
+    case tcp::TcpEventType::userClose: return sim::fr::Kind::fpcUserClose;
+    case tcp::TcpEventType::rxSegment: return sim::fr::Kind::fpcRxSegment;
+    case tcp::TcpEventType::timeout: return sim::fr::Kind::fpcTimeout;
+    }
+    return sim::fr::Kind::none;
+}
+
 } // namespace
 
 Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
@@ -48,6 +66,7 @@ Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
                         "single-cycle duplicate-ACK RMW operations")
 {
     f4t_assert(config_.slots > 0, "FPC needs at least one slot");
+    frModule_ = sim::fr::internModule(this->name());
     sim.registerAudit(this, statName("audit"),
                       [this] { auditInvariants(); });
 }
@@ -146,6 +165,8 @@ Fpc::installTcb(const MigratingTcb &incoming)
     lastInstallCycle_ = curCycle();
     installUsedThisWindow_ = true;
     ++swapIns_;
+    sim::fr::record(sim::fr::Kind::fpcInstall, now(), frModule_,
+                    incoming.tcb.flowId, slot_index);
     F4T_TRACE_CD(Fpc, clock(), "%s: swap-in flow %u -> slot %zu",
                  name().c_str(), incoming.tcb.flowId, slot_index);
     if (auto *tl = sim().timeline())
@@ -336,6 +357,8 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
     // moves this event's cost out of fpc_exec into its kind bucket.
     sim::prof::Scope event_scope(profileCategory(event.type));
     ++eventsHandled_;
+    sim::fr::record(recorderKind(event.type), now(), frModule_,
+                    event.flow, cycle);
     F4T_TRACE_CD(Fpc, clock(), "%s: absorb %s flow=%u", name().c_str(),
                  tcp::toString(event.type), event.flow);
     // Per-event timeline instants sit on the hottest loop in the
@@ -486,6 +509,8 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         slot = Slot{};
         --pendingEvictions_;
         ++evictions_;
+        sim::fr::record(sim::fr::Kind::fpcEvict, now(), frModule_,
+                        job.flow, job.slotIndex);
         F4T_TRACE_CD(Fpc, clock(), "%s: evict flow %u toward DRAM",
                      name().c_str(), job.flow);
         if (auto *tl = sim().timeline())

@@ -2,6 +2,7 @@
 
 #include "core/memory_manager.hh"
 #include "sim/causal_trace.hh"
+#include "sim/flight_recorder.hh"
 
 #include <algorithm>
 
@@ -27,6 +28,7 @@ Scheduler::Scheduler(sim::Simulation &sim, std::string name,
                      "events submitted past the coalesce window")
 {
     f4t_assert(config_.coalesceFifos > 0, "need at least one FIFO");
+    frModule_ = sim::fr::internModule(this->name());
     sim.registerAudit(this, statName("audit"),
                       [this] { auditInvariants(); });
 }
@@ -398,6 +400,8 @@ Scheduler::startEviction(tcp::FlowId flow, bool to_dram,
               name().c_str(), flow, loc.fpcIndex,
               to_dram ? "dram" : "fpc");
     moving_.emplace(flow, state);
+    sim::fr::record(sim::fr::Kind::schedEvict, now(), frModule_, flow,
+                    loc.fpcIndex, to_dram ? 1 : 0);
     loc = Location{Location::Kind::moving, 0};
     source->requestEvict(flow);
 }
@@ -485,6 +489,8 @@ void
 Scheduler::noteMigrationDone(tcp::FlowId flow, const char *kind,
                              sim::Tick started_at)
 {
+    sim::fr::record(sim::fr::Kind::schedMigrate, now(), frModule_, flow,
+                    now() - started_at);
     F4T_TRACE(Scheduler, "%s: migration %s of flow %u complete (%llu ns)",
               name().c_str(), kind, flow,
               static_cast<unsigned long long>((now() - started_at) /

@@ -188,6 +188,8 @@ class Scheduler : public sim::ClockedObject
      *  make progressInstalls O(#FPCs) instead of O(stuck installs). */
     std::vector<std::deque<tcp::FlowId>> installQueues_;
     std::size_t installsQueued_ = 0;
+    /** Flight-recorder module id (interned once at construction). */
+    std::uint16_t frModule_ = 0;
 
     sim::Counter eventsRouted_;
     sim::Counter eventsCoalesced_;

@@ -1,5 +1,7 @@
 #include "pcie.hh"
 
+#include "sim/flight_recorder.hh"
+
 namespace f4t::host
 {
 
@@ -12,7 +14,9 @@ PcieModel::PcieModel(sim::Simulation &sim, std::string name,
                 "device-to-host bytes transferred"),
       transactions_(sim.stats(), statName("transactions"),
                     "DMA transactions issued")
-{}
+{
+    frModule_ = sim::fr::internModule(this->name());
+}
 
 sim::Tick
 PcieModel::transfer(std::size_t bytes, sim::Tick &busy_until,
@@ -27,6 +31,8 @@ PcieModel::transfer(std::size_t bytes, sim::Tick &busy_until,
     sim::Tick start = busy_until > now() ? busy_until : now();
     busy_until = start + sim::secondsToTicks(seconds);
     sim::Tick done = busy_until + config_.dmaLatency;
+    sim::fr::record(sim::fr::Kind::pcieDma, now(), frModule_, 0, bytes,
+                    &counter == &d2hBytes_ ? 1 : 0);
     F4T_TRACE(Pcie, "%s: %s DMA %zuB [%llu..%llu]", name().c_str(), what,
               bytes, static_cast<unsigned long long>(start),
               static_cast<unsigned long long>(done));
@@ -62,6 +68,7 @@ sim::Tick
 PcieModel::mmioDoorbell(sim::SmallFunction on_observed)
 {
     sim::Tick done = now() + config_.mmioLatency;
+    sim::fr::record(sim::fr::Kind::pcieDoorbell, now(), frModule_, 0);
     F4T_TRACE(Pcie, "%s: MMIO doorbell", name().c_str());
     if constexpr (sim::trace::compiledIn) {
         if (auto *tl = sim().timeline())

@@ -2,6 +2,7 @@
 
 #include "net/pcap_writer.hh"
 #include "sim/causal_trace.hh"
+#include "sim/flight_recorder.hh"
 #include "sim/trace.hh"
 
 #include <algorithm>
@@ -59,6 +60,7 @@ LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
 {
     f4t_assert(bandwidth_ > 0, "link '%s' needs positive bandwidth",
                this->name().c_str());
+    frModule_ = sim::fr::internModule(this->name());
 }
 
 LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
@@ -87,6 +89,7 @@ LinkDirection::LinkDirection(sim::Simulation &sim, std::string name,
                "split link '%s' needs positive propagation delay "
                "(it is the conservative lookahead)",
                this->name().c_str());
+    frModule_ = sim::fr::internModule(this->name());
 }
 
 sim::Tick
@@ -107,6 +110,8 @@ LinkDirection::send(Packet &&pkt)
     ++packetsSent_;
     std::size_t wire_bytes = pkt.wireBytes();
     bytesSent_ += wire_bytes;
+    sim::fr::record(sim::fr::Kind::linkTx, ready, frModule_,
+                    pkt.flowHash32(), wire_bytes);
     F4T_TRACE(Link, "%s: send %zuB wire", name().c_str(), wire_bytes);
 
     // Serialization: the transmitter is busy for the wire time of this
@@ -134,7 +139,7 @@ LinkDirection::send(Packet &&pkt)
         F4T_TRACE(Link, "%s: scheduled drop", name().c_str());
         if (pcap_ != nullptr)
             pcap_->annotate(pcap_record, "drop(scheduled)");
-        noteFault("drop(scheduled)");
+        noteFault("drop(scheduled)", pkt, 1);
         return arrival;
     }
 
@@ -143,7 +148,7 @@ LinkDirection::send(Packet &&pkt)
         F4T_TRACE(Link, "%s: random drop", name().c_str());
         if (pcap_ != nullptr)
             pcap_->annotate(pcap_record, "drop");
-        noteFault("drop");
+        noteFault("drop", pkt, 2);
         return arrival;
     }
 
@@ -153,7 +158,7 @@ LinkDirection::send(Packet &&pkt)
         F4T_TRACE(Link, "%s: duplicate", name().c_str());
         if (pcap_ != nullptr)
             pcap_->annotate(pcap_record, "duplicate");
-        noteFault("duplicate");
+        noteFault("duplicate", pkt, 3);
         Packet copy = pkt;
         target_->deliver(std::move(copy),
                          arrival + sim::nanosecondsToTicks(100));
@@ -169,7 +174,7 @@ LinkDirection::send(Packet &&pkt)
         if (pcap_ != nullptr)
             pcap_->annotate(pcap_record,
                             "reorder+" + std::to_string(extra) + "ps");
-        noteFault("reorder");
+        noteFault("reorder", pkt, 4);
         arrival += extra;
     }
 
@@ -177,10 +182,14 @@ LinkDirection::send(Packet &&pkt)
     return arrival;
 }
 
-/** Timeline instant for an injected fault (cold path by construction). */
+/** Fault bookkeeping (cold path by construction): a timeline instant
+ *  plus a flight-recorder record carrying the fault code. */
 void
-LinkDirection::noteFault(const char *kind)
+LinkDirection::noteFault(const char *kind, const Packet &pkt,
+                         std::uint64_t fault_code)
 {
+    sim::fr::record(sim::fr::Kind::linkFault, now(), frModule_,
+                    pkt.flowHash32(), fault_code);
     if (auto *tl = sim().timeline())
         tl->instant(name(), "fault", kind, now());
 }

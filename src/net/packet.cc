@@ -1,5 +1,9 @@
 #include "packet.hh"
 
+#include "net/four_tuple.hh"
+
+#include <tuple>
+
 namespace f4t::net
 {
 
@@ -18,6 +22,22 @@ Packet::frameBytes() const
     len += payload.size();
     // Minimum Ethernet frame is 60 B before FCS; short frames are padded.
     return len < 60 ? 60 : len;
+}
+
+std::uint32_t
+Packet::flowHash32() const
+{
+    if (!isTcp() || !ip)
+        return 0;
+    const TcpHeader &hdr = tcp();
+    // Canonical orientation so both directions fold to one key.
+    FourTuple t{ip->src, hdr.srcPort, ip->dst, hdr.dstPort};
+    if (std::tie(t.localIp.value, t.localPort) >
+        std::tie(t.remoteIp.value, t.remotePort)) {
+        t = t.reversed();
+    }
+    std::size_t h = FourTupleHash{}(t);
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
 }
 
 std::vector<std::uint8_t>

@@ -75,6 +75,15 @@ struct Packet
     std::size_t frameBytes() const;
 
     /**
+     * Direction-insensitive 32-bit hash of the TCP connection tuple
+     * (both directions of one connection fold to the same value), or
+     * 0 for non-TCP frames. Used as the flight recorder's flow key
+     * for network-layer records, matching the decoder's --flow
+     * drill-down.
+     */
+    std::uint32_t flowHash32() const;
+
+    /**
      * Bytes the link is occupied for: frame + preamble + IFG + FCS.
      * This is the length used by the link model's timing.
      */

@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include "sim/flight_recorder.hh"
+
 #include <algorithm>
 #include <bit>
 
@@ -519,6 +521,14 @@ EventQueue::fire(Event *ev, Tick when, bool self_deleting)
     f4t_assert(liveEvents_ > 0, "live event count underflow");
     --liveEvents_;
     ++processed_;
+    // Black box + watchdog heartbeat. The record is the flight
+    // recorder's hot-path cost contract (relaxed store + index bump);
+    // the beat piggybacks on the existing dispatch counter so the
+    // watchdog sees progress without another atomic on every fire.
+    fr::record(fr::Kind::evDispatch, when, 0, 0,
+               static_cast<std::uint64_t>(ev->priority_), processed_);
+    if ((processed_ & 0x3fff) == 0)
+        fr::beat();
     if (prof::enabled()) {
         prof::Scope event_scope(eventCategory(ev));
         ev->process();

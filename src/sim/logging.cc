@@ -1,5 +1,7 @@
 #include "logging.hh"
 
+#include "sim/flight_recorder.hh"
+
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
@@ -68,6 +70,12 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Black box first: the check message names the failing module and
+    // flow, and the rings hold the last moments leading up to it. The
+    // once-guard inside keeps the abort's SIGABRT handler from
+    // writing a second dump.
+    fr::dumpOnFailure("panic: " + msg + " (" + file + ":" +
+                      std::to_string(line) + ")");
     std::abort();
 }
 

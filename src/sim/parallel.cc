@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/flight_recorder.hh"
 #include "sim/profile_scope.hh"
 
 namespace f4t::sim
@@ -129,10 +130,16 @@ ParallelExecutor::run(Tick limit)
         started_ = true;
         profiles_.resize(effectiveThreads());
         startWorkers();
+        frModule_ = fr::internModule("parallel_executor");
     }
     const Tick window = lookahead();
     f4t_assert(window > 0 && window != maxTick,
                "parallel run needs at least one cross channel");
+
+    // A wedged window barrier makes no event progress, so the
+    // wall-clock watchdog turns would-be CI hangs into a flight
+    // recorder dump plus a fast abort.
+    fr::armWatchdog(fr::defaultWatchdogSeconds());
 
     while (true) {
         for (CrossChannel *channel : channels_)
@@ -165,6 +172,17 @@ ParallelExecutor::run(Tick limit)
         runWindow(window_end);
         horizon_ = window_end;
         ++windows_;
+        // Workers are parked here (the barrier's happens-before edge),
+        // so cross-channel spill totals are stable to read.
+        fr::record(fr::Kind::parBarrier, horizon_, frModule_, 0,
+                   windows_, window_end);
+        fr::beat();
+        std::uint64_t spills = mailboxSpills();
+        if (spills != frLastSpills_) {
+            fr::record(fr::Kind::mailboxSpill, horizon_, frModule_, 0,
+                       spills - frLastSpills_, spills);
+            frLastSpills_ = spills;
+        }
         // Workers are parked at this point, so the coordinator may
         // touch partition 0's registry: StatSampler series inside the
         // next window read fresh executor counters.
@@ -173,6 +191,7 @@ ParallelExecutor::run(Tick limit)
             break;
     }
     publishStats();
+    fr::disarmWatchdog();
     return horizon_;
 }
 

@@ -248,6 +248,9 @@ class ParallelExecutor
     Tick horizon_ = 0;
     std::uint64_t windows_ = 0;
     std::uint64_t crossDelivered_ = 0;
+    /** Flight recorder: module id + last spill total (delta records). */
+    std::uint16_t frModule_ = 0;
+    std::uint64_t frLastSpills_ = 0;
 
     // Generation-counted window barrier shared with the worker pool.
     std::mutex mutex_;

@@ -16,12 +16,14 @@
 #define F4T_TESTS_FUZZ_RUNNER_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <string>
 
 #include "apps/testbed.hh"
 #include "net/stream_oracle.hh"
+#include "sim/flight_recorder.hh"
 
 #include "fuzz_apps.hh"
 #include "fuzz_scenario.hh"
@@ -217,40 +219,85 @@ runScenario(WorldKind kind, const Scenario &sc,
 }
 
 /**
+ * Write each world's flight-recorder snapshot to $F4T_DUMP_DIR (cwd by
+ * default) so a divergence arrives with per-world event timelines side
+ * by side. @return report lines naming the files and how to decode
+ * them.
+ */
+inline std::string
+dumpWorldRecorders(std::uint64_t seed, const sim::fr::Snapshot *snaps,
+                   std::size_t count)
+{
+    const char *env = std::getenv("F4T_DUMP_DIR");
+    std::string dir = env && env[0] ? env : ".";
+    std::string out = "\n  flight recorder dumps (decode with "
+                      "tools/f4t_blackbox):";
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string world = toString(allWorlds[i]);
+        std::string path = dir + "/f4t-fuzz-" + std::to_string(seed) +
+                           "-" + world + ".f4tfr";
+        std::string reason =
+            "fuzz seed " + std::to_string(seed) + " world " + world;
+        if (sim::fr::writeSnapshot(snaps[i], path, reason))
+            out += "\n    " + path;
+    }
+    return out;
+}
+
+/**
  * Run one seed on all three worlds and cross-check. Returns an empty
  * string on agreement; otherwise a report naming the seed, the
- * scenario, and what diverged.
+ * scenario, and what diverged, plus per-world flight-recorder dumps
+ * written to $F4T_DUMP_DIR.
  */
 inline std::string
 runDifferential(std::uint64_t seed)
 {
     Scenario sc = Scenario::fromSeed(seed);
 
+    // Each world runs against a freshly cleared flight recorder and its
+    // rings are snapshotted before the next world overwrites them —
+    // a failure at any point can dump every world it has.
+    sim::fr::Snapshot snaps[3];
     RunResult results[3];
-    for (std::size_t i = 0; i < 3; ++i) {
-        results[i] = runScenario(allWorlds[i], sc);
-        if (!results[i].ok())
-            return results[i].failureReport;
-    }
-
+    std::size_t ran = 0;
     std::string report;
-    for (std::size_t i = 1; i < 3; ++i) {
-        if (results[i].ledgerDigest != results[0].ledgerDigest ||
-            results[i].deliveredBytes != results[0].deliveredBytes) {
-            char buf[256];
-            std::snprintf(
-                buf, sizeof(buf),
-                "differential mismatch %s vs %s: digest %016llx/%016llx "
-                "delivered %llu/%llu\n  %s",
-                toString(allWorlds[0]), toString(allWorlds[i]),
-                static_cast<unsigned long long>(results[0].ledgerDigest),
-                static_cast<unsigned long long>(results[i].ledgerDigest),
-                static_cast<unsigned long long>(results[0].deliveredBytes),
-                static_cast<unsigned long long>(results[i].deliveredBytes),
-                sc.describe().c_str());
-            report += buf;
+    for (std::size_t i = 0; i < 3; ++i) {
+        sim::fr::clear();
+        results[i] = runScenario(allWorlds[i], sc);
+        snaps[i] = sim::fr::snapshot();
+        ran = i + 1;
+        if (!results[i].ok()) {
+            report = results[i].failureReport;
+            break;
         }
     }
+
+    if (report.empty()) {
+        for (std::size_t i = 1; i < 3; ++i) {
+            if (results[i].ledgerDigest != results[0].ledgerDigest ||
+                results[i].deliveredBytes != results[0].deliveredBytes) {
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "differential mismatch %s vs %s: digest "
+                    "%016llx/%016llx delivered %llu/%llu\n  %s",
+                    toString(allWorlds[0]), toString(allWorlds[i]),
+                    static_cast<unsigned long long>(
+                        results[0].ledgerDigest),
+                    static_cast<unsigned long long>(
+                        results[i].ledgerDigest),
+                    static_cast<unsigned long long>(
+                        results[0].deliveredBytes),
+                    static_cast<unsigned long long>(
+                        results[i].deliveredBytes),
+                    sc.describe().c_str());
+                report += buf;
+            }
+        }
+    }
+    if (!report.empty())
+        report += dumpWorldRecorders(seed, snaps, ran);
     return report;
 }
 

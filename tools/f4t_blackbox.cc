@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Decoder for flight-recorder dumps (.f4tfr): merges the per-thread
+ * rings into one tick-ordered timeline and summarizes activity per
+ * module and per event kind, with a per-flow drill-down.
+ *
+ *   f4t_blackbox dump.f4tfr             # summary + last 50 events
+ *   f4t_blackbox --last 200 dump.f4tfr  # longer tail
+ *   f4t_blackbox --flow 0x1c2d3e4f d.f4tfr   # one flow's records only
+ *   f4t_blackbox --selftest             # synthesize, dump, re-decode
+ *
+ * Multiple dumps decode in sequence (the fuzz harness writes one per
+ * world, side by side). The decoding core lives in
+ * sim/flight_recorder.{hh,cc} so tests can round-trip without
+ * spawning this binary.
+ */
+
+#include "sim/flight_recorder.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+using namespace f4t::sim;
+
+void
+printDump(const std::string &path, std::size_t last_k,
+          bool flow_set, std::uint32_t flow)
+{
+    fr::Snapshot snap;
+    std::string reason;
+    std::string error;
+    if (!fr::readDump(path, snap, reason, error)) {
+        std::fprintf(stderr, "f4t_blackbox: %s\n", error.c_str());
+        std::exit(1);
+    }
+
+    std::printf("== %s ==\n", path.c_str());
+    std::printf("reason: %s\n", reason.c_str());
+    std::size_t total = 0;
+    std::uint64_t written = 0;
+    for (const auto &ring : snap.rings) {
+        total += ring.records.size();
+        written += ring.totalWritten;
+    }
+    std::printf("rings: %zu (%zu records retained of %llu written)\n",
+                snap.rings.size(), total,
+                static_cast<unsigned long long>(written));
+
+    std::vector<fr::TimelineEntry> timeline = fr::mergeTimeline(snap);
+
+    // Per-module and per-kind activity over the retained window.
+    std::map<std::uint16_t, std::uint64_t> by_module;
+    std::map<std::uint8_t, std::uint64_t> by_kind;
+    for (const fr::TimelineEntry &entry : timeline) {
+        ++by_module[entry.rec.module];
+        ++by_kind[entry.rec.kind];
+    }
+    std::printf("\nper-module counts:\n");
+    for (const auto &[module, count] : by_module) {
+        const char *name = module < snap.modules.size()
+                               ? snap.modules[module].c_str()
+                               : "?";
+        std::printf("  %-28s %llu\n", name,
+                    static_cast<unsigned long long>(count));
+    }
+    std::printf("per-kind counts:\n");
+    for (const auto &[kind, count] : by_kind) {
+        std::printf("  %-28s %llu\n",
+                    fr::toString(static_cast<fr::Kind>(kind)),
+                    static_cast<unsigned long long>(count));
+    }
+
+    if (flow_set) {
+        std::erase_if(timeline, [flow](const fr::TimelineEntry &e) {
+            return e.rec.flow != flow;
+        });
+        std::printf("\nflow %08x drill-down: %zu records\n", flow,
+                    timeline.size());
+    }
+
+    std::size_t start =
+        timeline.size() > last_k ? timeline.size() - last_k : 0;
+    std::printf("\nlast %zu events (tick-ordered):\n",
+                timeline.size() - start);
+    for (std::size_t i = start; i < timeline.size(); ++i)
+        std::printf("  %s\n",
+                    fr::formatEntry(snap, timeline[i]).c_str());
+    std::printf("\n");
+}
+
+/** Synthesize rings on two threads, dump, re-decode, verify. */
+int
+selftest()
+{
+    fr::setEnabled(true);
+    std::uint16_t alpha = fr::internModule("selftest.alpha");
+    std::uint16_t beta = fr::internModule("selftest.beta");
+    fr::clear();
+
+    // Main thread wraps its ring; the second thread interleaves ticks.
+    for (std::uint64_t i = 0; i < fr::ringCapacity + 100; ++i)
+        fr::record(fr::Kind::mark, 2 * i, alpha, 7, i);
+    std::thread([beta] {
+        for (std::uint64_t i = 0; i < 500; ++i)
+            fr::record(fr::Kind::evDispatch, 2 * i + 1, beta, 9, i);
+    }).join();
+
+    const char *dir = std::getenv("TMPDIR");
+    std::string path = std::string(dir && dir[0] ? dir : "/tmp") +
+                       "/f4t_blackbox_selftest.f4tfr";
+    if (!fr::dumpToFile(path, "selftest")) {
+        std::fprintf(stderr, "selftest: dump failed\n");
+        return 1;
+    }
+
+    fr::Snapshot snap;
+    std::string reason;
+    std::string error;
+    if (!fr::readDump(path, snap, reason, error)) {
+        std::fprintf(stderr, "selftest: %s\n", error.c_str());
+        return 1;
+    }
+    if (reason != "selftest") {
+        std::fprintf(stderr, "selftest: reason mismatch '%s'\n",
+                     reason.c_str());
+        return 1;
+    }
+    std::vector<fr::TimelineEntry> timeline = fr::mergeTimeline(snap);
+    std::uint64_t last = 0;
+    std::size_t alpha_count = 0;
+    std::size_t beta_count = 0;
+    for (const fr::TimelineEntry &entry : timeline) {
+        if (entry.rec.tick < last) {
+            std::fprintf(stderr, "selftest: timeline not tick-sorted\n");
+            return 1;
+        }
+        last = entry.rec.tick;
+        alpha_count += entry.rec.module == alpha ? 1 : 0;
+        beta_count += entry.rec.module == beta ? 1 : 0;
+    }
+    if (alpha_count != fr::ringCapacity || beta_count != 500) {
+        std::fprintf(stderr,
+                     "selftest: retained %zu alpha / %zu beta records "
+                     "(want %zu / 500)\n",
+                     alpha_count, beta_count, fr::ringCapacity);
+        return 1;
+    }
+    printDump(path, 5, true, 9);
+    std::remove(path.c_str());
+    std::printf("selftest ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t last_k = 50;
+    bool flow_set = false;
+    std::uint32_t flow = 0;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--selftest") == 0) {
+            return selftest();
+        } else if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+            last_k = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--flow") == 0 && i + 1 < argc) {
+            flow_set = true;
+            flow = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: f4t_blackbox [--last K] [--flow N] "
+                         "[--selftest] dump.f4tfr...\n");
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: f4t_blackbox [--last K] [--flow N] "
+                     "[--selftest] dump.f4tfr...\n");
+        return 2;
+    }
+    for (const std::string &path : paths)
+        printDump(path, last_k, flow_set, flow);
+    return 0;
+}
