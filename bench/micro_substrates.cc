@@ -7,11 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
 #include "net/checksum.hh"
 #include "net/cuckoo_hash.hh"
 #include "net/four_tuple.hh"
 #include "net/interval_set.hh"
 #include "net/packet.hh"
+#include "sim/simulation.hh"
 #include "tcp/congestion.hh"
 #include "tcp/fpu_program.hh"
 #include "tcp/tcb.hh"
@@ -193,6 +198,143 @@ BM_IntervalSetInsert(benchmark::State &state)
     }
 }
 BENCHMARK(BM_IntervalSetInsert);
+
+/**
+ * The two dispatch representations of the event hot loop (DESIGN.md
+ * §17), measured through the real queue: one-shot callbacks drained by
+ * EventQueue::dispatch() with the tagged switch (Arg(1)) or forced
+ * through virtual process() (Arg(0)). In a -DF4T_TAGGED_DISPATCH=OFF
+ * build the toggle clamps, so both args measure the virtual path.
+ */
+void
+BM_DispatchVirtualVsTagged(benchmark::State &state)
+{
+    const bool tagged = state.range(0) != 0;
+    sim::Simulation sim;
+    const bool prev = sim::taggedDispatchEnabled();
+    sim::setTaggedDispatch(tagged);
+    constexpr int batch = 1024;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim::Tick base = sim.now();
+        for (int i = 1; i <= batch; ++i)
+            sim.queue().scheduleCallback(base + i, [&fired] { ++fired; });
+        sim.run(base + batch);
+    }
+    benchmark::DoNotOptimize(fired);
+    sim::setTaggedDispatch(prev);
+    state.SetItemsProcessed(state.iterations() * batch);
+    state.SetLabel(tagged && sim::taggedDispatchCompiledIn ? "tagged"
+                                                           : "virtual");
+}
+BENCHMARK(BM_DispatchVirtualVsTagged)->Arg(0)->Arg(1);
+
+/**
+ * Per-flow hot-state layouts (DESIGN.md §17): a hash map of per-flow
+ * structs (Arg(0), the pre-SoA scheduler/FPC layout — hot booleans
+ * share cache lines with cold bulk behind a pointer chase) versus the
+ * SoA bitmap-word layout the FPC now uses (Arg(1)). Each iteration
+ * does one flow touch (update hot fields) plus one round-robin
+ * first-eligible scan — the two operations the event hot loop performs
+ * per absorbed event.
+ */
+void
+BM_FlowStateMapVsSoA(benchmark::State &state)
+{
+    const bool soa = state.range(0) != 0;
+    constexpr std::size_t slots = 1024;
+    constexpr std::size_t words = slots / 64;
+    struct FlowHot
+    {
+        bool occupied = false;
+        bool inFpu = false;
+        bool evictFlag = false;
+        bool eventsValid = false;
+        bool workPending = false;
+        std::uint64_t lastActiveCycle = 0;
+        std::uint32_t flow = 0;
+        std::uint8_t coldBulk[40] = {}; ///< TCB bulk sharing the line
+    };
+    std::uint32_t tick = 0;
+    std::size_t found = 0;
+
+    if (!soa) {
+        std::unordered_map<std::uint32_t, FlowHot> table;
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            FlowHot h;
+            h.occupied = true;
+            h.flow = i;
+            table.emplace(i, h);
+        }
+        for (auto _ : state) {
+            std::uint32_t victim = (tick * 2654435761u) % slots;
+            FlowHot &h = table.find(victim)->second;
+            h.lastActiveCycle = tick;
+            h.eventsValid = (victim & 63) == 1;
+            std::size_t rr = tick % slots;
+            for (std::size_t k = 0; k < slots; ++k) {
+                std::size_t idx = rr + k;
+                if (idx >= slots)
+                    idx -= slots;
+                const FlowHot &s =
+                    table.find(static_cast<std::uint32_t>(idx))->second;
+                if (s.occupied && !s.inFpu &&
+                    (s.evictFlag || s.eventsValid || s.workPending)) {
+                    found = idx;
+                    break;
+                }
+            }
+            benchmark::DoNotOptimize(found);
+            ++tick;
+        }
+    } else {
+        std::vector<std::uint64_t> occ(words, ~std::uint64_t{0});
+        std::vector<std::uint64_t> fpu(words, 0), evict(words, 0),
+            valid(words, 0), work(words, 0);
+        std::vector<std::uint64_t> last_active(slots, 0);
+        auto eligible = [&](std::size_t w) {
+            return occ[w] & ~fpu[w] & (evict[w] | valid[w] | work[w]);
+        };
+        for (auto _ : state) {
+            std::uint32_t victim = (tick * 2654435761u) % slots;
+            last_active[victim] = tick;
+            std::uint64_t mask = std::uint64_t{1} << (victim & 63);
+            if ((victim & 63) == 1)
+                valid[victim >> 6] |= mask;
+            else
+                valid[victim >> 6] &= ~mask;
+            std::size_t rr = tick % slots;
+            std::size_t w0 = rr >> 6;
+            std::uint64_t word =
+                eligible(w0) & (~std::uint64_t{0} << (rr & 63));
+            found = slots;
+            for (std::size_t w = w0;;) {
+                if (word != 0) {
+                    found = (w << 6) + static_cast<std::size_t>(
+                                           std::countr_zero(word));
+                    break;
+                }
+                if (++w == words)
+                    break;
+                word = eligible(w);
+            }
+            if (found == slots) {
+                for (std::size_t w = 0; w <= w0; ++w) {
+                    std::uint64_t wd = eligible(w);
+                    if (wd != 0) {
+                        found = (w << 6) + static_cast<std::size_t>(
+                                               std::countr_zero(wd));
+                        break;
+                    }
+                }
+            }
+            benchmark::DoNotOptimize(found);
+            ++tick;
+        }
+    }
+    state.SetLabel(soa ? "soa" : "map");
+}
+BENCHMARK(BM_FlowStateMapVsSoA)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -167,10 +167,15 @@ runManyFlows(std::size_t flows, sim::Tick warmup, sim::Tick window)
 
     // Echo clients on both sides: half the flows originate on A
     // targeting B, half on B targeting A, so requests and responses
-    // cross in both link directions simultaneously.
+    // cross in both link directions simultaneously. Flows are split
+    // across the client threads with the remainder on the first ones,
+    // so any count down to 2 works (the flow-curve sweep goes far
+    // below one flow per thread); exact multiples of the thread count
+    // distribute identically to the historical layout.
     std::vector<std::unique_ptr<apps::F4tSocketApi>> client_apis;
     std::vector<std::unique_ptr<apps::EchoClientApp>> clients;
-    std::size_t flows_per_thread = flows / (2 * threadsPerSide);
+    std::size_t num_clients = 2 * threadsPerSide;
+    std::size_t client_index = 0;
     for (std::size_t i = 0; i < threadsPerSide; ++i) {
         std::size_t q = threadsPerSide + i;
         for (int side = 0; side < 2; ++side) {
@@ -180,7 +185,10 @@ runManyFlows(std::size_t flows, sim::Tick warmup, sim::Tick window)
             apps::EchoClientConfig client_config;
             client_config.peer =
                 side == 0 ? testbed::ipB() : testbed::ipA();
-            client_config.flows = flows_per_thread;
+            client_config.flows =
+                flows / num_clients +
+                (client_index < flows % num_clients ? 1 : 0);
+            ++client_index;
             client_config.connectSpacing = sim::nanosecondsToTicks(100);
             clients.push_back(std::make_unique<apps::EchoClientApp>(
                 *client_apis.back(), nullptr, client_config));
@@ -280,7 +288,8 @@ runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
 
     std::vector<std::unique_ptr<apps::F4tSocketApi>> client_apis;
     std::vector<std::unique_ptr<apps::EchoClientApp>> clients;
-    std::size_t flows_per_thread = flows / (2 * threadsPerSide);
+    std::size_t num_clients = 2 * threadsPerSide;
+    std::size_t client_index = 0;
     for (std::size_t i = 0; i < threadsPerSide; ++i) {
         std::size_t q = threadsPerSide + i;
         for (int side = 0; side < 2; ++side) {
@@ -291,7 +300,10 @@ runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
             apps::EchoClientConfig client_config;
             client_config.peer =
                 side == 0 ? testbed::ipB() : testbed::ipA();
-            client_config.flows = flows_per_thread;
+            client_config.flows =
+                flows / num_clients +
+                (client_index < flows % num_clients ? 1 : 0);
+            ++client_index;
             client_config.connectSpacing = sim::nanosecondsToTicks(100);
             clients.push_back(std::make_unique<apps::EchoClientApp>(
                 *client_apis.back(), nullptr, client_config));
@@ -351,6 +363,55 @@ runManyFlowsParallel(std::size_t flows, sim::Tick warmup, sim::Tick window,
     fp.mix(world.link->bToA().bytesSent());
     result.fingerprint = fp.state;
     return result;
+}
+
+/**
+ * Flow-count sweep (--flow-curve): the serial scenario at log-spaced
+ * counts from 2 to the --flows ceiling, so the per-flow overhead the
+ * scale ceiling imposes is a tracked artifact
+ * (bench/baselines/BENCH_flowcurve.json) rather than a one-off
+ * observation. The gated wall-clock metrics stay in BENCH_datapath.json;
+ * the curve file records the shape.
+ */
+void
+writeCurveJson(const std::string &path,
+               const std::vector<ScenarioResult> &points)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "perf_datapath: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"datapath_flowcurve\",\n"
+                 "  \"schema\": 1,\n");
+    bench::writeRunMeta(out, 2, 1);
+    std::fprintf(out, ",\n  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ScenarioResult &r = points[i];
+        double us_per_pkt =
+            r.simPackets > 0 ? r.wallSeconds * 1e6 / r.simPackets : 0;
+        std::fprintf(out,
+                     "    {\n"
+                     "      \"flows\": %llu,\n"
+                     "      \"wall_seconds\": %.6f,\n"
+                     "      \"sim_packets\": %llu,\n"
+                     "      \"round_trips\": %llu,\n"
+                     "      \"wall_us_per_sim_pkt\": %.4f,\n"
+                     "      \"sim_pkts_per_wall_sec_per_flow\": %.3f,\n"
+                     "      \"fingerprint\": \"%016llx\"\n"
+                     "    }%s\n",
+                     static_cast<unsigned long long>(r.flows),
+                     r.wallSeconds,
+                     static_cast<unsigned long long>(r.simPackets),
+                     static_cast<unsigned long long>(r.roundTrips),
+                     us_per_pkt, r.simPacketsPerWallSecPerFlow(),
+                     static_cast<unsigned long long>(r.fingerprint),
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
 }
 
 void
@@ -430,13 +491,18 @@ main(int argc, char **argv)
     sim::Tick window_us = 200;
     std::string out_path = "BENCH_datapath.json";
     bool smoke = false;
+    bool flow_curve = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
             flows = 160;
             window_us = 20;
+        } else if (std::strcmp(argv[i], "--flow-curve") == 0) {
+            flow_curve = true;
         } else if (std::strcmp(argv[i], "--flows") == 0 && i + 1 < argc) {
             flows = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--flows=", 8) == 0) {
+            flows = std::strtoull(argv[i] + 8, nullptr, 10);
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             threads = std::strtoull(argv[++i], nullptr, 10);
@@ -456,8 +522,9 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--flows N] [--threads N]"
-                         " [--warmup-us N] [--window-us N] [--out FILE]\n",
+                         "usage: %s [--smoke] [--flow-curve] [--flows N]"
+                         " [--threads N] [--warmup-us N] [--window-us N]"
+                         " [--out FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -483,6 +550,43 @@ main(int argc, char **argv)
 
     sim::Tick warmup = sim::microsecondsToTicks(warmup_us);
     sim::Tick window = sim::microsecondsToTicks(window_us);
+
+    if (flow_curve) {
+        // Log-spaced flow counts (x4 per step) up to the --flows
+        // ceiling, serial oracle only: the curve is about per-flow
+        // overhead, not executor scaling. Each point re-derives its
+        // own warmup from its flow count.
+        static constexpr std::size_t curvePoints[] = {2,   8,    32,  128,
+                                                      512, 2048, 10240};
+        if (out_path == "BENCH_datapath.json")
+            out_path = "BENCH_flowcurve.json";
+        std::vector<ScenarioResult> curve;
+        bench::Table table({"flows", "wall s", "sim pkts", "trips",
+                            "pkt/s/flow", "fingerprint"});
+        for (std::size_t n : curvePoints) {
+            if (n > flows)
+                break;
+            sim::Tick point_warmup = sim::microsecondsToTicks(
+                static_cast<sim::Tick>(200 + n * 1.2));
+            ScenarioResult r = runManyFlows(n, point_warmup, window);
+            r.name = "many_flows_" + std::to_string(n);
+            curve.push_back(r);
+            char fp[32];
+            std::snprintf(fp, sizeof(fp), "%016llx",
+                          static_cast<unsigned long long>(r.fingerprint));
+            table.addRow({std::to_string(r.flows),
+                          bench::fmt("%.3f", r.wallSeconds),
+                          std::to_string(r.simPackets),
+                          std::to_string(r.roundTrips),
+                          bench::fmt("%.3f",
+                                     r.simPacketsPerWallSecPerFlow()),
+                          fp});
+        }
+        table.print();
+        writeCurveJson(out_path, curve);
+        std::printf("\nwrote %s\n", out_path.c_str());
+        return 0;
+    }
 
     // Serial oracle first, then the partitioned kernel — always at one
     // worker (the determinism anchor the baseline tracks), and at

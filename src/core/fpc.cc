@@ -1,5 +1,7 @@
 #include "fpc.hh"
 
+#include <bit>
+
 #include "sim/causal_trace.hh"
 #include "sim/flight_recorder.hh"
 
@@ -53,8 +55,15 @@ Fpc::Fpc(sim::Simulation &sim, std::string name, sim::ClockDomain &domain,
       config_(config),
       fpuLatency_(config.fpuLatencyOverride ? config.fpuLatencyOverride
                                             : program.latencyCycles()),
-      slots_(config.slots), tcbTable_(config.slots),
-      eventTable_(config.slots), cam_(config.slots),
+      occupiedBits_((config.slots + 63) / 64, 0),
+      inFpuBits_((config.slots + 63) / 64, 0),
+      evictBits_((config.slots + 63) / 64, 0),
+      eventsValidBits_((config.slots + 63) / 64, 0),
+      workPendingBits_((config.slots + 63) / 64, 0),
+      lastActiveCycle_(config.slots, 0),
+      slotFlow_(config.slots, tcp::invalidFlowId), slotCold_(config.slots),
+      tcbTable_(config.slots), eventTable_(config.slots),
+      cam_(config.slots),
       eventsHandled_(sim.stats(), statName("eventsHandled"),
                      "events absorbed by the event handler"),
       fpuPasses_(sim.stats(), statName("fpuPasses"),
@@ -81,23 +90,39 @@ Fpc::auditInvariants() const
 {
     std::size_t occupied = 0;
     std::size_t evicting = 0;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-        const Slot &slot = slots_[i];
-        if (!slot.occupied) {
-            F4T_CHECK(!slot.inFpu && !slot.evictFlag,
+    for (std::size_t i = 0; i < config_.slots; ++i) {
+        // The two derived bits are maintained mirrors of the BRAM
+        // contents; recount them against the tables. The event-record
+        // mirror holds for every slot (release paths clear the table);
+        // the TCB table is left stale on release, so its mirror is
+        // only meaningful — and only read — while the slot is occupied.
+        F4T_CHECK(testBit(eventsValidBits_, i) ==
+                      (eventTable_.peek(i).validMask != 0),
+                  "%s: slot %zu event-valid mirror diverged from the "
+                  "event table", name().c_str(), i);
+        if (!testBit(occupiedBits_, i)) {
+            F4T_CHECK(!testBit(inFpuBits_, i) && !testBit(evictBits_, i) &&
+                          !testBit(workPendingBits_, i),
                       "%s: empty slot %zu carries live flags",
                       name().c_str(), i);
+            F4T_CHECK(slotFlow_[i] == tcp::invalidFlowId,
+                      "%s: empty slot %zu still names flow %u",
+                      name().c_str(), i, slotFlow_[i]);
             continue;
         }
         ++occupied;
-        evicting += slot.evictFlag ? 1 : 0;
-        F4T_CHECK(slot.flow != tcp::invalidFlowId,
+        evicting += testBit(evictBits_, i) ? 1 : 0;
+        F4T_CHECK(slotFlow_[i] != tcp::invalidFlowId,
                   "%s: occupied slot %zu without a flow", name().c_str(),
                   i);
-        F4T_CHECK(cam_.contains(slot.flow) &&
-                      cam_.lookup(slot.flow) == i,
+        F4T_CHECK(cam_.contains(slotFlow_[i]) &&
+                      cam_.lookup(slotFlow_[i]) == i,
                   "%s: slot %zu holds flow %u but the CAM disagrees",
-                  name().c_str(), i, slot.flow);
+                  name().c_str(), i, slotFlow_[i]);
+        F4T_CHECK(testBit(workPendingBits_, i) ==
+                      tcbTable_.peek(i).workPending,
+                  "%s: slot %zu work-pending mirror diverged from the "
+                  "TCB table", name().c_str(), i);
     }
     F4T_CHECK(occupied == cam_.occupancy(),
               "%s: %zu occupied slots vs CAM occupancy %zu",
@@ -108,12 +133,15 @@ Fpc::auditInvariants() const
 
     for (std::size_t i = 0; i < fpuPipe_.size(); ++i) {
         const FpuJob &job = fpuPipe_.at(i);
-        const Slot &slot = slots_[job.slotIndex];
-        F4T_CHECK(slot.occupied && slot.inFpu && slot.flow == job.flow,
+        F4T_CHECK(testBit(occupiedBits_, job.slotIndex) &&
+                      testBit(inFpuBits_, job.slotIndex) &&
+                      slotFlow_[job.slotIndex] == job.flow,
                   "%s: FPU job for flow %u references slot %zu "
                   "(occupied=%d inFpu=%d flow=%u)", name().c_str(),
-                  job.flow, job.slotIndex, slot.occupied ? 1 : 0,
-                  slot.inFpu ? 1 : 0, slot.flow);
+                  job.flow, job.slotIndex,
+                  testBit(occupiedBits_, job.slotIndex) ? 1 : 0,
+                  testBit(inFpuBits_, job.slotIndex) ? 1 : 0,
+                  slotFlow_[job.slotIndex]);
     }
 
     for (std::size_t i = 0; i < inputFifo_.size(); ++i) {
@@ -151,15 +179,17 @@ Fpc::installTcb(const MigratingTcb &incoming)
     f4t_assert(canAcceptTcb(), "%s: swap-in past backpressure",
                name().c_str());
     std::size_t slot_index = cam_.insert(incoming.tcb.flowId);
-    Slot &slot = slots_[slot_index];
-    slot.occupied = true;
-    slot.inFpu = false;
-    slot.evictFlag = false;
-    slot.flow = incoming.tcb.flowId;
-    slot.lastActiveCycle = curCycle();
+    assignBit(occupiedBits_, slot_index, true);
+    assignBit(inFpuBits_, slot_index, false);
+    assignBit(evictBits_, slot_index, false);
+    assignBit(eventsValidBits_, slot_index, incoming.events.validMask != 0);
+    assignBit(workPendingBits_, slot_index, incoming.tcb.workPending);
+    slotFlow_[slot_index] = incoming.tcb.flowId;
+    lastActiveCycle_[slot_index] = curCycle();
     // Tokens that travelled with the migrating TCB resume here.
-    slot.trace.clear();
-    slot.trace.mergeCopy(incoming.trace);
+    SlotCold &cold = slotCold_[slot_index];
+    cold.trace.clear();
+    cold.trace.mergeCopy(incoming.trace);
     tcbTable_.peekMutable(slot_index) = incoming.tcb;
     eventTable_.peekMutable(slot_index) = incoming.events;
     lastInstallCycle_ = curCycle();
@@ -180,9 +210,8 @@ void
 Fpc::requestEvict(tcp::FlowId flow)
 {
     std::size_t slot_index = cam_.lookup(flow);
-    Slot &slot = slots_[slot_index];
-    if (!slot.evictFlag) {
-        slot.evictFlag = true;
+    if (!testBit(evictBits_, slot_index)) {
+        assignBit(evictBits_, slot_index, true);
         ++pendingEvictions_;
     }
     activate();
@@ -193,12 +222,17 @@ Fpc::coldestFlow() const
 {
     std::optional<tcp::FlowId> coldest;
     std::uint64_t best = ~std::uint64_t{0};
-    for (const Slot &slot : slots_) {
-        if (!slot.occupied || slot.inFpu || slot.evictFlag)
-            continue;
-        if (slot.lastActiveCycle < best) {
-            best = slot.lastActiveCycle;
-            coldest = slot.flow;
+    for (std::size_t w = 0; w < occupiedBits_.size(); ++w) {
+        std::uint64_t cand = occupiedBits_[w] & ~inFpuBits_[w] &
+                             ~evictBits_[w];
+        while (cand != 0) {
+            std::size_t i =
+                (w << 6) + static_cast<std::size_t>(std::countr_zero(cand));
+            cand &= cand - 1;
+            if (lastActiveCycle_[i] < best) {
+                best = lastActiveCycle_[i];
+                coldest = slotFlow_[i];
+            }
         }
     }
     return coldest;
@@ -208,12 +242,12 @@ void
 Fpc::releaseFlow(tcp::FlowId flow)
 {
     std::size_t slot_index = cam_.lookup(flow);
-    Slot &slot = slots_[slot_index];
-    f4t_assert(!slot.inFpu, "%s: releasing flow %u while in the FPU",
-               name().c_str(), flow);
-    if (slot.evictFlag)
+    f4t_assert(!testBit(inFpuBits_, slot_index),
+               "%s: releasing flow %u while in the FPU", name().c_str(),
+               flow);
+    if (testBit(evictBits_, slot_index))
         --pendingEvictions_;
-    slot = Slot{};
+    recycleSlot(slot_index);
     eventTable_.peekMutable(slot_index).clear();
     cam_.erase(flow);
 }
@@ -227,15 +261,56 @@ Fpc::peekMergedTcb(tcp::FlowId flow) const
 }
 
 bool
-Fpc::slotEligible(const Slot &slot, std::size_t index) const
+Fpc::slotEligible(std::size_t index) const
 {
-    if (!slot.occupied || slot.inFpu)
-        return false;
-    if (slot.evictFlag)
-        return true;
-    if (eventTable_.peek(index).validMask != 0)
-        return true;
-    return tcbTable_.peek(index).workPending;
+    // Pure bit tests: eventsValidBits_/workPendingBits_ mirror the
+    // tables (`validMask != 0` / `workPending`), maintained at every
+    // table write site. The audit recounts the mirrors.
+    return testBit(occupiedBits_, index) && !testBit(inFpuBits_, index) &&
+           (testBit(evictBits_, index) || testBit(eventsValidBits_, index) ||
+            testBit(workPendingBits_, index));
+}
+
+void
+Fpc::recycleSlot(std::size_t index)
+{
+    assignBit(occupiedBits_, index, false);
+    assignBit(inFpuBits_, index, false);
+    assignBit(evictBits_, index, false);
+    assignBit(eventsValidBits_, index, false);
+    assignBit(workPendingBits_, index, false);
+    lastActiveCycle_[index] = 0;
+    slotFlow_[index] = tcp::invalidFlowId;
+    slotCold_[index].trace.clear();
+}
+
+std::size_t
+Fpc::firstEligibleFrom(std::size_t from) const
+{
+    const std::size_t words = occupiedBits_.size();
+    const std::size_t w0 = from >> 6;
+    std::uint64_t word =
+        eligibleWord(w0) & (~std::uint64_t{0} << (from & 63));
+    for (std::size_t w = w0;;) {
+        if (word != 0)
+            return (w << 6) +
+                   static_cast<std::size_t>(std::countr_zero(word));
+        if (++w == words)
+            break;
+        word = eligibleWord(w);
+    }
+    // Wrap around: the bits strictly below `from`.
+    for (std::size_t w = 0; w <= w0; ++w) {
+        std::uint64_t wd = eligibleWord(w);
+        if (w == w0)
+            wd &= (from & 63) != 0
+                      ? ~std::uint64_t{0} >> (64 - (from & 63))
+                      : 0;
+        if (wd != 0)
+            return (w << 6) +
+                   static_cast<std::size_t>(std::countr_zero(wd));
+    }
+    return config_.slots;
 }
 
 bool
@@ -262,11 +337,11 @@ Fpc::tick()
     // cycle. Fast-forward naps (below) skip host events for cycles
     // proven idle; catch the pointer up for the dotted cycles that
     // elapsed since the last tick before this cycle's phase runs.
-    if (!slots_.empty() && cycle > rrSyncedCycle_) {
+    if (cycle > rrSyncedCycle_) {
         std::uint64_t dotted_skipped =
             cycle / 2 - (rrSyncedCycle_ + 1) / 2;
         if (dotted_skipped != 0)
-            rrIndex_ = (rrIndex_ + dotted_skipped) % slots_.size();
+            rrIndex_ = (rrIndex_ + dotted_skipped) % config_.slots;
     }
     rrSyncedCycle_ = cycle;
 
@@ -292,9 +367,9 @@ Fpc::tick()
         }
 
         std::size_t index = rrIndex_;
-        if (++rrIndex_ == slots_.size())
+        if (++rrIndex_ == config_.slots)
             rrIndex_ = 0;
-        if (slotEligible(slots_[index], index))
+        if (slotEligible(index))
             issueSlot(index, cycle);
     }
 
@@ -318,14 +393,14 @@ Fpc::tick()
         if (wake < next_dotted)
             wake = next_dotted;
     }
-    for (std::size_t k = 0; k < slots_.size(); ++k) {
-        std::size_t index = (rrIndex_ + k) % slots_.size();
-        if (slotEligible(slots_[index], index)) {
-            sim::Cycles examine = next_dotted + 2 * k;
-            if (wake == 0 || examine < wake)
-                wake = examine;
-            break;
-        }
+    std::size_t first = firstEligibleFrom(rrIndex_);
+    if (first < config_.slots) {
+        std::size_t k = first >= rrIndex_
+                            ? first - rrIndex_
+                            : first + config_.slots - rrIndex_;
+        sim::Cycles examine = next_dotted + 2 * k;
+        if (wake == 0 || examine < wake)
+            wake = examine;
     }
     if (wake == 0)
         return false; // fully idle; activate() rearms
@@ -371,8 +446,7 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
                         now());
     }
     std::size_t index = cam_.lookup(event.flow);
-    Slot &slot = slots_[index];
-    slot.lastActiveCycle = cycle;
+    lastActiveCycle_[index] = cycle;
 
     // The handler reads both memories every cycle for its merged view
     // (needed for single-cycle duplicate-ACK detection); the event
@@ -381,10 +455,11 @@ Fpc::handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle)
     const tcp::Tcb &stored = tcbTable_.read(index);
     if (tcp::accumulateEvent(record, stored, event))
         ++dupAckIncrements_;
+    assignBit(eventsValidBits_, index, record.validMask != 0);
 
     if constexpr (sim::trace::compiledIn) {
         if (event.trace.valid()) {
-            slot.trace.add(event.trace);
+            slotCold_[index].trace.add(event.trace);
             if (auto *ct = sim().causalTracer())
                 ct->absorbed(event.trace, now());
         }
@@ -395,7 +470,6 @@ void
 Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
 {
     sim::prof::Scope pass_scope(sim::prof::Cat::fpcFpuPass);
-    Slot &slot = slots_[index];
     FpuJob &job = fpuPipe_.push_default();
     // Merge straight into the pipe slot: one table read into the job
     // plus the in-place event overlay, no intermediate TCB copy.
@@ -404,16 +478,17 @@ Fpc::issueSlot(std::size_t index, sim::Cycles cycle)
     // Clearing the valid bits is the event table's write this cycle.
     tcp::EventRecord cleared;
     eventTable_.peekMutable(index) = cleared;
+    assignBit(eventsValidBits_, index, false);
 
-    slot.inFpu = true;
+    assignBit(inFpuBits_, index, true);
     ++fpuPasses_;
     job.readyCycle = cycle + fpuLatency_;
     job.slotIndex = index;
-    job.flow = slot.flow;
+    job.flow = slotFlow_[index];
 
     if constexpr (sim::trace::compiledIn) {
         job.trace.clear(); // pipe slots are pooled; drop stale tokens
-        job.trace.merge(std::move(slot.trace));
+        job.trace.merge(std::move(slotCold_[index].trace));
         if (auto *ct = sim().causalTracer()) {
             sim::Tick at = now();
             job.trace.forEach(
@@ -426,8 +501,8 @@ void
 Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 {
     sim::prof::Scope pass_scope(sim::prof::Cat::fpcFpuPass);
-    Slot &slot = slots_[job.slotIndex];
-    f4t_assert(slot.occupied && slot.flow == job.flow,
+    f4t_assert(testBit(occupiedBits_, job.slotIndex) &&
+                   slotFlow_[job.slotIndex] == job.flow,
                "%s: write-back to a recycled slot", name().c_str());
 
     tcp::FpuActions actions;
@@ -435,7 +510,8 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 
     F4T_TRACE_CD(Fpc, clock(), "%s: writeback flow %u slot %zu%s",
                  name().c_str(), job.flow, job.slotIndex,
-                 slot.evictFlag ? " (evict pending)" : "");
+                 testBit(evictBits_, job.slotIndex) ? " (evict pending)"
+                                                    : "");
     if constexpr (sim::trace::compiledIn) {
         // One span per FPU pass: issue happened fpuLatency_ cycles ago.
         if (auto *tl = sim().timeline()) {
@@ -472,8 +548,8 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         }
     });
 
-    slot.inFpu = false;
-    slot.lastActiveCycle = cycle;
+    assignBit(inFpuBits_, job.slotIndex, false);
+    lastActiveCycle_[job.slotIndex] = cycle;
 
     if constexpr (sim::trace::compiledIn) {
         // The pass merged these requests' events: their fpcExec spans
@@ -489,12 +565,13 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
 
     if (actions.releaseFlow) {
         // Connection finished: recycle the slot.
-        if (slot.evictFlag)
+        if (testBit(evictBits_, job.slotIndex))
             --pendingEvictions_;
         eventTable_.peekMutable(job.slotIndex).clear();
-        cam_.erase(slot.flow);
-        slot = Slot{};
-    } else if (slot.evictFlag && !fifoHoldsFlow(job.flow)) {
+        cam_.erase(job.flow);
+        recycleSlot(job.slotIndex);
+    } else if (testBit(evictBits_, job.slotIndex) &&
+               !fifoHoldsFlow(job.flow)) {
         // Evict checker: forward the processed TCB toward DRAM without
         // consuming a table write port. Events that accumulated since
         // the pass started travel with it.
@@ -503,10 +580,10 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
         leaving.events = eventTable_.peek(job.slotIndex);
         // Tokens of events absorbed after the pass started migrate
         // with their events; their open spans survive the move.
-        leaving.trace.merge(std::move(slot.trace));
+        leaving.trace.merge(std::move(slotCold_[job.slotIndex].trace));
         eventTable_.peekMutable(job.slotIndex).clear();
-        cam_.erase(slot.flow);
-        slot = Slot{};
+        cam_.erase(job.flow);
+        recycleSlot(job.slotIndex);
         --pendingEvictions_;
         ++evictions_;
         sim::fr::record(sim::fr::Kind::fpcEvict, now(), frModule_,
@@ -520,6 +597,7 @@ Fpc::writeback(FpuJob &job, sim::Cycles cycle)
             evictSink_(std::move(leaving));
     } else {
         tcbTable_.write(job.slotIndex, job.merged);
+        assignBit(workPendingBits_, job.slotIndex, job.merged.workPending);
     }
 
     if (actionSink_ && !actions.empty())

@@ -275,13 +275,17 @@ class Fpc : public sim::ClockedObject
     bool tick() override;
 
   private:
-    struct Slot
+    /**
+     * Cold per-slot state. The hot slot fields live in the SoA members
+     * below (DESIGN.md §17): per-slot booleans are bitmap words so the
+     * eligibility scan and the nap computation touch five cache lines
+     * for 128 slots instead of walking an array of structs, and the
+     * two derived bits (event-record valid, TCB work pending) are
+     * maintained mirrors of the BRAM contents so eligibility never
+     * reads the tables at all.
+     */
+    struct SlotCold
     {
-        bool occupied = false;
-        bool inFpu = false;
-        bool evictFlag = false;
-        std::uint64_t lastActiveCycle = 0;
-        tcp::FlowId flow = tcp::invalidFlowId;
         /** Tokens of events absorbed but not yet issued to the FPU. */
         [[no_unique_address]] sim::ctrace::TokenSet trace;
     };
@@ -297,20 +301,62 @@ class Fpc : public sim::ClockedObject
     };
 
     void handleEvent(const tcp::TcpEvent &event, sim::Cycles cycle);
-    void handlerApplySegment(std::size_t slot_index,
-                             const tcp::TcpEvent &event);
-    bool slotEligible(const Slot &slot, std::size_t index) const;
+    bool slotEligible(std::size_t index) const;
+    void recycleSlot(std::size_t index);
     void issueSlot(std::size_t index, sim::Cycles cycle);
     void writeback(FpuJob &job, sim::Cycles cycle);
     bool fifoHoldsFlow(tcp::FlowId flow) const;
     std::uint64_t nowUs() const { return now() / 1'000'000; }
+
+    // --- SoA slot-state helpers -------------------------------------------
+    static bool
+    testBit(const std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        return (bits[i >> 6] >> (i & 63)) & 1;
+    }
+    static void
+    assignBit(std::vector<std::uint64_t> &bits, std::size_t i, bool on)
+    {
+        std::uint64_t mask = std::uint64_t{1} << (i & 63);
+        if (on)
+            bits[i >> 6] |= mask;
+        else
+            bits[i >> 6] &= ~mask;
+    }
+    /** One word of "would issueSlot have work" bits. */
+    std::uint64_t
+    eligibleWord(std::size_t w) const
+    {
+        return occupiedBits_[w] & ~inFpuBits_[w] &
+               (evictBits_[w] | eventsValidBits_[w] | workPendingBits_[w]);
+    }
+    /** First eligible slot at or (circularly) after @p from, else
+     *  config_.slots when none is eligible. */
+    std::size_t firstEligibleFrom(std::size_t from) const;
 
     const tcp::FpuProgram &program_;
     FpcConfig config_;
     unsigned fpuLatency_;
 
     sim::RingFifo<tcp::TcpEvent> inputFifo_;
-    std::vector<Slot> slots_;
+    /**
+     * Per-slot state, struct-of-arrays (DESIGN.md §17). The five
+     * booleans the round-robin eligibility scan reads are bitmap words;
+     * eventsValidBits_/workPendingBits_ are maintained mirrors of the
+     * BRAM contents (every table write site updates them — the BRAM
+     * model is write-first, so mirror and table never diverge within a
+     * cycle; the audit recounts both against the tables).
+     */
+    std::vector<std::uint64_t> occupiedBits_;
+    std::vector<std::uint64_t> inFpuBits_;
+    std::vector<std::uint64_t> evictBits_;
+    /** Mirror: eventTable_.peek(i).validMask != 0. */
+    std::vector<std::uint64_t> eventsValidBits_;
+    /** Mirror: tcbTable_.peek(i).workPending, occupied slots only. */
+    std::vector<std::uint64_t> workPendingBits_;
+    std::vector<std::uint64_t> lastActiveCycle_;
+    std::vector<tcp::FlowId> slotFlow_;
+    std::vector<SlotCold> slotCold_;
     mem::DualPortBram<tcp::Tcb> tcbTable_;
     mem::DualPortBram<tcp::EventRecord> eventTable_;
     FlowCam cam_;

@@ -5,6 +5,7 @@
 #include "sim/flight_recorder.hh"
 
 #include <algorithm>
+#include <limits>
 
 namespace f4t::core
 {
@@ -14,12 +15,19 @@ Scheduler::Scheduler(sim::Simulation &sim, std::string name,
                      const SchedulerConfig &config)
     : ClockedObject(sim, std::move(name), domain), config_(config),
       lut_(config.maxFlows), fifos_(config.coalesceFifos),
+      pendingRing_(config.pendingRetryCycles + 1),
+      pendedCount_(config.maxFlows, 0),
+      moveIdx_(config.maxFlows, -1), parkedIdx_(config.maxFlows, -1),
       eventsRouted_(sim.stats(), statName("eventsRouted"),
                     "events delivered to FPCs or DRAM"),
       eventsCoalesced_(sim.stats(), statName("eventsCoalesced"),
                        "events merged in the coalesce FIFOs"),
       eventsPended_(sim.stats(), statName("eventsPended"),
                     "events parked while their flow was moving"),
+      eventsParked_(sim.stats(), statName("eventsParked"),
+                    "pended events held off-calendar during migration"),
+      retryAttempts_(sim.stats(), statName("retryAttempts"),
+                     "pending-queue route attempts actually executed"),
       migrations_(sim.stats(), statName("migrations"),
                   "TCB migrations completed"),
       rebalances_(sim.stats(), statName("rebalances"),
@@ -28,6 +36,12 @@ Scheduler::Scheduler(sim::Simulation &sim, std::string name,
                      "events submitted past the coalesce window")
 {
     f4t_assert(config_.coalesceFifos > 0, "need at least one FIFO");
+    f4t_assert(config_.pendingRetryCycles > 0,
+               "pending retries need a nonzero backoff");
+    f4t_assert(config_.maxFlows <=
+                   static_cast<std::size_t>(
+                       std::numeric_limits<std::int32_t>::max()),
+               "flow ids must fit the dense SoA indices");
     frModule_ = sim::fr::internModule(this->name());
     sim.registerAudit(this, statName("audit"),
                       [this] { auditInvariants(); });
@@ -52,7 +66,7 @@ Scheduler::auditInvariants() const
         for (const Fpc *fpc : fpcs_)
             fpc_holders += fpc->hasFlow(flow) ? 1 : 0;
         bool in_dram = memoryManager_ && memoryManager_->holdsFlow(flow);
-        auto mv = moving_.find(flow);
+        const MoveState *mv = movingState(flow);
         fpc_flows_seen += fpc_holders;
         dram_flows_seen += in_dram ? 1 : 0;
 
@@ -64,7 +78,7 @@ Scheduler::auditInvariants() const
                       name().c_str(), flow, loc.fpcIndex, fpc_holders);
             F4T_CHECK(!in_dram, "%s: flow %u in FPC %u and DRAM",
                       name().c_str(), flow, loc.fpcIndex);
-            F4T_CHECK(mv == moving_.end(),
+            F4T_CHECK(mv == nullptr,
                       "%s: flow %u settled in FPC %u but still has "
                       "migration state", name().c_str(), flow,
                       loc.fpcIndex);
@@ -74,7 +88,7 @@ Scheduler::auditInvariants() const
                       "%s: flow %u LUT says DRAM (in_dram=%d, "
                       "fpc_holders=%zu)", name().c_str(), flow,
                       in_dram ? 1 : 0, fpc_holders);
-            F4T_CHECK(mv == moving_.end(),
+            F4T_CHECK(mv == nullptr,
                       "%s: flow %u settled in DRAM but still has "
                       "migration state", name().c_str(), flow);
             break;
@@ -84,22 +98,38 @@ Scheduler::auditInvariants() const
             // completion pending), in transit between modules, or
             // inside an in-flight DRAM extract.
             std::size_t copies = fpc_holders + (in_dram ? 1 : 0);
-            if (mv != moving_.end()) {
-                copies += mv->second.inTransit ? 1 : 0;
-                copies += mv->second.extractPending ? 1 : 0;
+            if (mv) {
+                copies += mv->inTransit ? 1 : 0;
+                copies += mv->extractPending ? 1 : 0;
             }
             F4T_CHECK(copies == 1,
                       "%s: MOVING flow %u has %zu TCB copies "
                       "(fpc=%zu dram=%d transit=%d extract=%d)",
                       name().c_str(), flow, copies, fpc_holders,
-                      in_dram ? 1 : 0,
-                      mv != moving_.end() && mv->second.inTransit ? 1 : 0,
-                      mv != moving_.end() && mv->second.extractPending
-                          ? 1 : 0);
+                      in_dram ? 1 : 0, mv && mv->inTransit ? 1 : 0,
+                      mv && mv->extractPending ? 1 : 0);
             break;
           }
           case Location::Kind::unallocated:
             break;
+        }
+
+        // Parked entries exist only while the flow is MOVING, in
+        // first-pend order (settle re-injects them in that order).
+        if (parkedIdx_[flow] >= 0) {
+            const std::deque<PendingEntry> &parked =
+                parkedPool_[parkedIdx_[flow]];
+            F4T_CHECK(loc.kind == Location::Kind::moving,
+                      "%s: flow %u has %zu parked events but is not "
+                      "MOVING", name().c_str(), flow, parked.size());
+            F4T_CHECK(!parked.empty(),
+                      "%s: flow %u owns an empty parked slot",
+                      name().c_str(), flow);
+            for (std::size_t i = 1; i < parked.size(); ++i) {
+                F4T_CHECK(parked[i - 1].pendSeq < parked[i].pendSeq,
+                          "%s: flow %u parked list out of pend order "
+                          "at %zu", name().c_str(), flow, i);
+            }
         }
     }
 
@@ -120,48 +150,90 @@ Scheduler::auditInvariants() const
 
     // Pended events always belong to allocated flows (the retry path
     // can terminate only if their migrations eventually settle), and
-    // the per-flow pended counts must mirror the queue exactly.
-    std::unordered_map<tcp::FlowId, std::uint32_t> recount;
-    for (const PendingEntry &entry : pendingQueue_) {
-        F4T_CHECK(lut_[entry.event.flow].kind !=
-                      Location::Kind::unallocated,
-                  "%s: pended event for unallocated flow %u",
-                  name().c_str(), entry.event.flow);
-        ++recount[entry.event.flow];
+    // the per-flow pended counts must mirror the calendar ring plus
+    // the parked lists exactly. Each nonempty ring bucket carries a
+    // single retry cycle, hashes to its own slot, and keeps first-pend
+    // order (settle-time re-injection relies on all three).
+    std::vector<std::uint32_t> recount(lut_.size(), 0);
+    std::size_t queued = 0;
+    for (std::size_t b = 0; b < pendingRing_.size(); ++b) {
+        const std::deque<PendingEntry> &bucket = pendingRing_[b].entries;
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const PendingEntry &entry = bucket[i];
+            F4T_CHECK(lut_[entry.event.flow].kind !=
+                          Location::Kind::unallocated,
+                      "%s: pended event for unallocated flow %u",
+                      name().c_str(), entry.event.flow);
+            F4T_CHECK(entry.retryCycle % pendingRing_.size() == b,
+                      "%s: retry cycle %llu filed in bucket %zu",
+                      name().c_str(),
+                      static_cast<unsigned long long>(entry.retryCycle),
+                      b);
+            if (i > 0) {
+                F4T_CHECK(bucket[i - 1].retryCycle == entry.retryCycle,
+                          "%s: bucket %zu mixes retry cycles %llu/%llu",
+                          name().c_str(), b,
+                          static_cast<unsigned long long>(
+                              bucket[i - 1].retryCycle),
+                          static_cast<unsigned long long>(
+                              entry.retryCycle));
+                F4T_CHECK(bucket[i - 1].pendSeq < entry.pendSeq,
+                          "%s: bucket %zu out of pend order at %zu",
+                          name().c_str(), b, i);
+            }
+            ++recount[entry.event.flow];
+            ++queued;
+        }
     }
-    F4T_CHECK(recount.size() == pendedCount_.size(),
-              "%s: pended-count map tracks %zu flows but the queue "
-              "holds %zu", name().c_str(), pendedCount_.size(),
-              recount.size());
-    for (const auto &[flow, n] : recount) {
-        auto it = pendedCount_.find(flow);
-        F4T_CHECK(it != pendedCount_.end() && it->second == n,
-                  "%s: flow %u has %u pended events but the count map "
-                  "says %u", name().c_str(), flow, n,
-                  it != pendedCount_.end() ? it->second : 0);
+    F4T_CHECK(queued == pendingQueued_,
+              "%s: calendar holds %zu entries vs running count %zu",
+              name().c_str(), queued, pendingQueued_);
+    std::size_t parked_total = 0;
+    std::size_t parked_slots = 0;
+    for (tcp::FlowId flow = 0; flow < lut_.size(); ++flow) {
+        if (parkedIdx_[flow] < 0)
+            continue;
+        ++parked_slots;
+        const std::deque<PendingEntry> &parked =
+            parkedPool_[parkedIdx_[flow]];
+        for (const PendingEntry &entry : parked) {
+            F4T_CHECK(entry.event.flow == flow,
+                      "%s: flow %u parked list holds an event for "
+                      "flow %u", name().c_str(), flow, entry.event.flow);
+            ++recount[flow];
+            ++parked_total;
+        }
+    }
+    F4T_CHECK(parked_total == pendingParked_,
+              "%s: parked lists hold %zu entries vs running count %zu",
+              name().c_str(), parked_total, pendingParked_);
+    F4T_CHECK(parked_slots + parkedFree_.size() == parkedPool_.size(),
+              "%s: parked pool leaks slots (%zu used + %zu free != "
+              "%zu)", name().c_str(), parked_slots, parkedFree_.size(),
+              parkedPool_.size());
+    for (tcp::FlowId flow = 0; flow < lut_.size(); ++flow) {
+        F4T_CHECK(recount[flow] == pendedCount_[flow],
+                  "%s: flow %u has %u pended events but the count "
+                  "says %u", name().c_str(), flow, recount[flow],
+                  pendedCount_[flow]);
     }
 
-    // The retry queue is sorted by retry cycle (the early-exit scan in
-    // tick() and the O(1) nap computation both rely on it).
-    for (std::size_t i = 1; i < pendingQueue_.size(); ++i) {
-        F4T_CHECK(pendingQueue_[i - 1].retryCycle <=
-                      pendingQueue_[i].retryCycle,
-                  "%s: pending queue out of order at %zu (%llu > %llu)",
-                  name().c_str(), i,
-                  static_cast<unsigned long long>(
-                      pendingQueue_[i - 1].retryCycle),
-                  static_cast<unsigned long long>(
-                      pendingQueue_[i].retryCycle));
-    }
+    // The MoveState pool's free list and the dense index agree.
+    std::size_t moving_flows = 0;
+    for (tcp::FlowId flow = 0; flow < lut_.size(); ++flow)
+        moving_flows += moveIdx_[flow] >= 0 ? 1 : 0;
+    F4T_CHECK(moving_flows + moveFree_.size() == movePool_.size(),
+              "%s: move pool leaks slots (%zu used + %zu free != %zu)",
+              name().c_str(), moving_flows, moveFree_.size(),
+              movePool_.size());
 
     // Every install-queued flow is MOVING with a TCB in transit bound
     // for that queue's FPC, and the total matches the running count.
     std::size_t installs = 0;
     for (std::size_t f = 0; f < installQueues_.size(); ++f) {
         for (tcp::FlowId flow : installQueues_[f]) {
-            auto mv = moving_.find(flow);
-            F4T_CHECK(mv != moving_.end() && mv->second.inTransit &&
-                          mv->second.destFpc == f,
+            const MoveState *mv = movingState(flow);
+            F4T_CHECK(mv && mv->inTransit && mv->destFpc == f,
                       "%s: install queue %zu holds flow %u without a "
                       "matching in-transit TCB", name().c_str(), f, flow);
             ++installs;
@@ -259,6 +331,7 @@ Scheduler::allocateFlow(const MigratingTcb &initial)
         ++migrations_;
         noteMigrationDone(flow, "alloc->dram", started);
         // Work may have accumulated while the LUT said MOVING.
+        settleFlow(flow, /*in_tick=*/false);
         memoryManager_->recheckFlow(flow);
     });
 }
@@ -278,7 +351,10 @@ Scheduler::freeFlow(tcp::FlowId flow)
       case Location::Kind::unallocated:
         break;
     }
-    moving_.erase(flow);
+    F4T_CHECK(parkedIdx_[flow] < 0 && pendedCount_[flow] == 0,
+              "%s: freeing flow %u with %u events still pended",
+              name().c_str(), flow, pendedCount_[flow]);
+    stopMoving(flow);
     loc = Location{};
 }
 
@@ -338,7 +414,7 @@ Scheduler::routeEvent(const tcp::TcpEvent &event)
             // Congestion: consider migrating this flow to the idlest
             // FPC (Section 4.4.2) and retry the event later.
             if (fpc->inputBacklog() >= config_.congestionThreshold &&
-                !moving_.count(event.flow) && fpcs_.size() > 1) {
+                !movingState(event.flow) && fpcs_.size() > 1) {
                 // The idlest FPC by *input backlog* (the congestion
                 // signal), not by flow count.
                 std::optional<std::size_t> idlest;
@@ -399,7 +475,7 @@ Scheduler::startEviction(tcp::FlowId flow, bool to_dram,
     F4T_TRACE(Scheduler, "%s: start eviction of flow %u from fpc%u -> %s",
               name().c_str(), flow, loc.fpcIndex,
               to_dram ? "dram" : "fpc");
-    moving_.emplace(flow, state);
+    startMoving(flow, std::move(state));
     sim::fr::record(sim::fr::Kind::schedEvict, now(), frModule_, flow,
                     loc.fpcIndex, to_dram ? 1 : 0);
     loc = Location{Location::Kind::moving, 0};
@@ -410,25 +486,26 @@ void
 Scheduler::onEvicted(MigratingTcb &&leaving)
 {
     tcp::FlowId flow = leaving.tcb.flowId;
-    auto it = moving_.find(flow);
-    f4t_assert(it != moving_.end(),
+    MoveState *mv = movingState(flow);
+    f4t_assert(mv != nullptr,
                "FPC evicted flow %u without a scheduler request", flow);
 
-    if (it->second.toDram) {
-        sim::Tick started = it->second.startedAt;
+    if (mv->toDram) {
+        sim::Tick started = mv->startedAt;
         memoryManager_->insertFlow(
             std::move(leaving), [this, flow, started] {
             // Evict-complete signal: the LUT points at DRAM now.
-            moving_.erase(flow);
+            stopMoving(flow);
             lut(flow) = Location{Location::Kind::dram, 0};
             ++migrations_;
             noteMigrationDone(flow, "fpc->dram", started);
+            settleFlow(flow, /*in_tick=*/false);
             memoryManager_->recheckFlow(flow);
             activate();
         });
     } else {
-        it->second.inTransit = std::move(leaving);
-        installQueues_[it->second.destFpc].push_back(flow);
+        mv->inTransit = std::move(leaving);
+        installQueues_[mv->destFpc].push_back(flow);
         ++installsQueued_;
         activate();
     }
@@ -462,7 +539,7 @@ Scheduler::requestSwapIn(tcp::FlowId flow)
     state.startedAt = now();
     F4T_TRACE(Scheduler, "%s: swap-in flow %u from DRAM -> fpc%u",
               name().c_str(), flow, dest);
-    moving_.emplace(flow, state);
+    startMoving(flow, std::move(state));
     loc = Location{Location::Kind::moving, 0};
 
     memoryManager_->extractFlow(flow, [this, flow](MigratingTcb &&tcb) {
@@ -480,7 +557,7 @@ Scheduler::makeRoom(std::size_t fpc_index)
     auto victim = fpc->coldestFlow();
     if (!victim)
         return; // every slot is already evicting or in the FPU
-    if (moving_.count(*victim))
+    if (movingState(*victim))
         return;
     startEviction(*victim, /*to_dram=*/true, 0);
 }
@@ -502,16 +579,152 @@ Scheduler::noteMigrationDone(tcp::FlowId flow, const char *kind,
                  started_at, now());
 }
 
+Scheduler::MoveState *
+Scheduler::movingState(tcp::FlowId flow)
+{
+    std::int32_t idx = moveIdx_[flow];
+    return idx >= 0 ? &movePool_[idx] : nullptr;
+}
+
+const Scheduler::MoveState *
+Scheduler::movingState(tcp::FlowId flow) const
+{
+    std::int32_t idx = moveIdx_[flow];
+    return idx >= 0 ? &movePool_[idx] : nullptr;
+}
+
+Scheduler::MoveState &
+Scheduler::startMoving(tcp::FlowId flow, MoveState &&state)
+{
+    f4t_assert(moveIdx_[flow] < 0, "flow %u is already moving", flow);
+    std::int32_t idx;
+    if (!moveFree_.empty()) {
+        idx = moveFree_.back();
+        moveFree_.pop_back();
+        movePool_[idx] = std::move(state);
+    } else {
+        idx = static_cast<std::int32_t>(movePool_.size());
+        movePool_.push_back(std::move(state));
+    }
+    moveIdx_[flow] = idx;
+    return movePool_[idx];
+}
+
+void
+Scheduler::stopMoving(tcp::FlowId flow)
+{
+    std::int32_t idx = moveIdx_[flow];
+    if (idx < 0)
+        return;
+    movePool_[idx] = MoveState{}; // release any in-transit TCB now
+    moveFree_.push_back(idx);
+    moveIdx_[flow] = -1;
+}
+
+void
+Scheduler::appendPending(PendingEntry &&entry)
+{
+    PendingBucket &bucket =
+        pendingRing_[entry.retryCycle % pendingRing_.size()];
+    f4t_assert(bucket.entries.empty() ||
+                   (bucket.entries.back().retryCycle ==
+                        entry.retryCycle &&
+                    bucket.entries.back().pendSeq < entry.pendSeq),
+               "pending append out of order");
+    bucket.entries.push_back(std::move(entry));
+    ++pendingQueued_;
+}
+
+void
+Scheduler::insertPending(PendingEntry &&entry)
+{
+    PendingBucket &bucket =
+        pendingRing_[entry.retryCycle % pendingRing_.size()];
+    f4t_assert(bucket.entries.empty() ||
+                   bucket.entries.front().retryCycle == entry.retryCycle,
+               "pending insert into a bucket of another cycle");
+    auto pos = std::lower_bound(
+        bucket.entries.begin(), bucket.entries.end(), entry.pendSeq,
+        [](const PendingEntry &e, std::uint64_t seq) {
+            return e.pendSeq < seq;
+        });
+    bucket.entries.insert(pos, std::move(entry));
+    ++pendingQueued_;
+}
+
+void
+Scheduler::parkEntry(PendingEntry &&entry)
+{
+    tcp::FlowId flow = entry.event.flow;
+    std::int32_t idx = parkedIdx_[flow];
+    if (idx < 0) {
+        if (!parkedFree_.empty()) {
+            idx = parkedFree_.back();
+            parkedFree_.pop_back();
+        } else {
+            idx = static_cast<std::int32_t>(parkedPool_.size());
+            parkedPool_.emplace_back();
+        }
+        parkedIdx_[flow] = idx;
+    }
+    std::deque<PendingEntry> &parked = parkedPool_[idx];
+    // Usually an append (fresh pends carry fresh seqs), but an old
+    // calendar entry parking lazily at its next poll can trail a
+    // younger entry parked straight off the route path.
+    auto pos = std::lower_bound(
+        parked.begin(), parked.end(), entry.pendSeq,
+        [](const PendingEntry &e, std::uint64_t seq) {
+            return e.pendSeq < seq;
+        });
+    parked.insert(pos, std::move(entry));
+    ++pendingParked_;
+    ++eventsParked_;
+}
+
+void
+Scheduler::settleFlow(tcp::FlowId flow, bool in_tick)
+{
+    std::int32_t idx = parkedIdx_[flow];
+    if (idx < 0)
+        return;
+    std::deque<PendingEntry> &parked = parkedPool_[idx];
+
+    // The polling hardware kept attempting every entry on its fixed
+    // 12-cycle lattice; while the flow was MOVING each attempt was a
+    // provable no-op. Re-enter the calendar at the first lattice point
+    // the poller would hit now that the LUT has settled: the current
+    // cycle when settling inside this tick's install phase (the retry
+    // scan runs right after and must see it), the next cycle when
+    // settling from a completion callback (this cycle's scan already
+    // ran — ClockedObject tick events carry clockPriority).
+    const sim::Cycles period = config_.pendingRetryCycles;
+    const sim::Cycles horizon = curCycle() + (in_tick ? 0 : 1);
+    while (!parked.empty()) {
+        PendingEntry entry = std::move(parked.front());
+        parked.pop_front();
+        --pendingParked_;
+        if (entry.retryCycle < horizon) {
+            sim::Cycles missed = horizon - entry.retryCycle;
+            entry.retryCycle += (missed + period - 1) / period * period;
+        }
+        insertPending(std::move(entry));
+    }
+    parkedFree_.push_back(idx);
+    parkedIdx_[flow] = -1;
+    if (!in_tick)
+        activate(); // parked entries no longer drive the nap schedule
+}
+
 void
 Scheduler::onExtracted(MigratingTcb &&incoming)
 {
     tcp::FlowId flow = incoming.tcb.flowId;
-    auto it = moving_.find(flow);
-    f4t_assert(it != moving_.end(), "extract completion for flow %u "
+    MoveState *mv = movingState(flow);
+    f4t_assert(mv != nullptr, "extract completion for flow %u "
                "that is not moving", flow);
-    it->second.extractPending = false;
-    it->second.inTransit = std::move(incoming);
-    installQueues_[it->second.destFpc].push_back(flow);
+    mv->extractPending = false;
+    mv->inTransit = std::move(incoming);
+    installQueues_[mv->destFpc].push_back(flow);
     ++installsQueued_;
     activate();
 }
@@ -526,12 +739,12 @@ Scheduler::progressInstalls()
         if (ready.empty())
             continue;
         tcp::FlowId flow = ready.front();
-        auto it = moving_.find(flow);
-        f4t_assert(it != moving_.end() && it->second.inTransit,
+        MoveState *mv = movingState(flow);
+        f4t_assert(mv && mv->inTransit,
                    "install-ready flow %u has no TCB in transit", flow);
-        f4t_assert(it->second.destFpc == f,
+        f4t_assert(mv->destFpc == f,
                    "install queue %zu holds flow %u bound for fpc%u",
-                   f, flow, it->second.destFpc);
+                   f, flow, mv->destFpc);
         Fpc *dest = fpcs_[f];
 
         if (dest->full()) {
@@ -540,12 +753,13 @@ Scheduler::progressInstalls()
         }
         if (!dest->canAcceptTcb())
             continue;
-        dest->installTcb(*it->second.inTransit);
-        lut(flow) = Location{Location::Kind::fpc, it->second.destFpc};
-        sim::Tick started = it->second.startedAt;
-        moving_.erase(it);
+        dest->installTcb(*mv->inTransit);
+        lut(flow) = Location{Location::Kind::fpc, mv->destFpc};
+        sim::Tick started = mv->startedAt;
+        stopMoving(flow);
         ++migrations_;
         noteMigrationDone(flow, "->fpc", started);
+        settleFlow(flow, /*in_tick=*/true);
         ready.pop_front();
         --installsQueued_;
     }
@@ -564,27 +778,37 @@ Scheduler::tick()
     if (installsQueued_ > 0)
         progressInstalls();
 
-    // Retry pended events whose wait elapsed (12-cycle retry). Every
-    // append carries cycle + retryCycles with a nondecreasing cycle,
-    // so the queue is sorted by retry cycle: only the matured prefix
-    // needs visiting, and a failed retry re-appends at the back with
-    // a retry cycle no smaller than anything still queued.
-    std::size_t matured = 0;
-    for (const PendingEntry &pe : pendingQueue_) {
-        if (pe.retryCycle > cycle)
-            break;
-        ++matured;
-    }
-    for (std::size_t i = 0; i < matured; ++i) {
-        PendingEntry entry = std::move(pendingQueue_.front());
-        pendingQueue_.pop_front();
-        if (!routeEvent(entry.event)) {
-            entry.retryCycle = cycle + config_.pendingRetryCycles;
-            pendingQueue_.push_back(std::move(entry));
-        } else {
-            auto it = pendedCount_.find(entry.event.flow);
-            if (it != pendedCount_.end() && --it->second == 0)
-                pendedCount_.erase(it);
+    // Retry pended events whose wait elapsed (12-cycle retry). Live
+    // retry cycles span at most ring-size consecutive values, so the
+    // calendar bucket for this cycle holds exactly the matured set —
+    // in first-pend order — and a failed retry re-files one period
+    // out (a different bucket; no entry is visited twice). A retry
+    // that fails because its flow went MOVING parks instead: every
+    // further poll until the migration settles is a provable no-op,
+    // and settleFlow() re-files it on its unchanged retry lattice.
+    PendingBucket &due = pendingRing_[cycle % pendingRing_.size()];
+    if (!due.entries.empty() &&
+        due.entries.front().retryCycle <= cycle) {
+        std::deque<PendingEntry> matured;
+        matured.swap(due.entries);
+        pendingQueued_ -= matured.size();
+        for (PendingEntry &entry : matured) {
+            F4T_CHECK(entry.retryCycle == cycle,
+                      "%s: entry matured at cycle %llu attempted at "
+                      "%llu", name().c_str(),
+                      static_cast<unsigned long long>(entry.retryCycle),
+                      static_cast<unsigned long long>(cycle));
+            ++retryAttempts_;
+            if (routeEvent(entry.event)) {
+                --pendedCount_[entry.event.flow];
+            } else {
+                entry.retryCycle = cycle + config_.pendingRetryCycles;
+                if (lut_[entry.event.flow].kind ==
+                        Location::Kind::moving)
+                    parkEntry(std::move(entry));
+                else
+                    appendPending(std::move(entry));
+            }
         }
     }
 
@@ -603,12 +827,17 @@ Scheduler::tick()
             Location::Kind kind = lut(event.flow).kind;
             // Events of a flow with older pended events must queue
             // behind them to preserve per-flow ordering.
-            bool behind_pended = pendedCount_.count(event.flow) != 0;
+            bool behind_pended = pendedCount_[event.flow] != 0;
             if (kind == Location::Kind::moving || behind_pended) {
                 ++eventsPended_;
                 ++pendedCount_[event.flow];
-                pendingQueue_.push_back(PendingEntry{
-                    event, cycle + config_.pendingRetryCycles});
+                PendingEntry entry{event,
+                                   cycle + config_.pendingRetryCycles,
+                                   nextPendSeq_++};
+                if (kind == Location::Kind::moving)
+                    parkEntry(std::move(entry));
+                else
+                    appendPending(std::move(entry));
                 fifos_[f].pop_front();
                 routed = true;
             } else if (routeEvent(event)) {
@@ -633,10 +862,16 @@ Scheduler::tick()
     // Only pended events remain and none matures before its 12-cycle
     // retry point: nap until the earliest one instead of ticking every
     // cycle. submitEvent()'s activate() cuts the nap short when new
-    // traffic arrives.
-    if (!pendingQueue_.empty()) {
-        // Sorted queue: the front entry matures first.
-        sim::Cycles earliest = pendingQueue_.front().retryCycle;
+    // traffic arrives. Parked entries never drive the nap — their
+    // polls are no-ops by construction, and settleFlow() re-activates
+    // when a migration completion makes them routable again.
+    if (pendingQueued_ > 0) {
+        sim::Cycles earliest = ~sim::Cycles{0};
+        for (const PendingBucket &bucket : pendingRing_) {
+            if (!bucket.entries.empty())
+                earliest = std::min(earliest,
+                                    bucket.entries.front().retryCycle);
+        }
         if (earliest <= cycle + 1)
             return true;
         activateAt(earliest);

@@ -15,6 +15,10 @@
  *  - park events whose flow is MOVING in the pending queue and retry
  *    every 12 cycles — retries always terminate because migrations
  *    complete and the LUT is updated before the mark clears;
+ *    (modelled exactly, but executed lazily: MOVING-flow entries sit
+ *    in per-flow parked lists and re-enter the retry calendar when the
+ *    migration settles, at precisely the 12-cycle lattice point the
+ *    polling hardware would next have attempted — see DESIGN.md §17);
  *  - drive migrations: eviction of cold flows to DRAM, swap-in of
  *    sendable flows from DRAM, and FPC-to-FPC rebalancing when one
  *    FPC's input backpressures (Section 4.4.2);
@@ -28,7 +32,6 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/fpc.hh"
@@ -136,7 +139,20 @@ class Scheduler : public sim::ClockedObject
     struct PendingEntry
     {
         tcp::TcpEvent event;
+        /** Next attempt cycle; always on the entry's 12-cycle lattice
+         *  (firstPend + k * pendingRetryCycles). */
         sim::Cycles retryCycle;
+        /** Global first-pend order; ties on retryCycle break by it. */
+        std::uint64_t pendSeq;
+    };
+
+    /** One retry-calendar slot: all queued entries sharing one
+     *  retryCycle, kept in pendSeq order. Live retry cycles span at
+     *  most pendingRetryCycles + 1 consecutive values, so a ring of
+     *  that many buckets maps each live cycle to its own bucket. */
+    struct PendingBucket
+    {
+        std::deque<PendingEntry> entries;
     };
 
     Location &lut(tcp::FlowId flow);
@@ -168,6 +184,29 @@ class Scheduler : public sim::ClockedObject
     void noteMigrationDone(tcp::FlowId flow, const char *kind,
                            sim::Tick started_at);
 
+    // --- SoA per-flow state accessors (DESIGN.md §17) ---------------------
+    /** Migration state for @p flow, or nullptr when not MOVING. */
+    MoveState *movingState(tcp::FlowId flow);
+    const MoveState *movingState(tcp::FlowId flow) const;
+    MoveState &startMoving(tcp::FlowId flow, MoveState &&state);
+    void stopMoving(tcp::FlowId flow);
+
+    /** Append @p entry to the retry calendar at its retryCycle. */
+    void appendPending(PendingEntry &&entry);
+    /** Ordered insert (by pendSeq) for settle-time re-injection. */
+    void insertPending(PendingEntry &&entry);
+    /** Park @p entry on its flow's MOVING list (no calendar slot). */
+    void parkEntry(PendingEntry &&entry);
+    /**
+     * A MOVING flow settled: re-inject its parked entries into the
+     * retry calendar at the lattice point the polling hardware would
+     * next have attempted. @p in_tick distinguishes the
+     * progressInstalls path (before this tick's retry scan, so an
+     * entry may mature this very cycle) from completion callbacks
+     * (which run after the scheduler's tick at the same cycle).
+     */
+    void settleFlow(tcp::FlowId flow, bool in_tick);
+
     SchedulerConfig config_;
     std::vector<Fpc *> fpcs_;
     MemoryManager *memoryManager_ = nullptr;
@@ -175,13 +214,36 @@ class Scheduler : public sim::ClockedObject
     std::vector<Location> lut_;
     std::vector<std::deque<tcp::TcpEvent>> fifos_;
     std::size_t nextFifo_ = 0;
-    std::deque<PendingEntry> pendingQueue_;
-    /** Pended events per flow: O(1) "must queue behind pended work"
-     *  test on the route path (the queue can grow to thousands of
-     *  entries at many-connection scale; scanning it per routed event
-     *  dominated the host profile). */
-    std::unordered_map<tcp::FlowId, std::uint32_t> pendedCount_;
-    std::unordered_map<tcp::FlowId, MoveState> moving_;
+
+    // Retry state, SoA (DESIGN.md §17). The pending queue is a
+    // calendar ring indexed by retryCycle % (pendingRetryCycles + 1);
+    // live retry cycles span at most that many consecutive values, so
+    // each nonempty bucket holds exactly one retry cycle. Entries
+    // whose flow is MOVING are parked per flow instead — their retries
+    // are provably side-effect-free, so the calendar only carries
+    // attempts that can do work.
+    std::vector<PendingBucket> pendingRing_;
+    std::size_t pendingQueued_ = 0; ///< entries in the calendar ring
+    std::size_t pendingParked_ = 0; ///< entries on parked lists
+    std::uint64_t nextPendSeq_ = 0;
+
+    /** Pended events per flow (queued + parked): O(1) "must queue
+     *  behind pended work" test on the route path. Dense, indexed by
+     *  FlowId (the engine allocates IDs below maxFlows). */
+    std::vector<std::uint32_t> pendedCount_;
+
+    /** Migration state: dense index into a pooled MoveState arena
+     *  (-1 when not MOVING) replaces the former hash map, so the
+     *  per-route moving test is one array load. */
+    std::vector<std::int32_t> moveIdx_;
+    std::vector<MoveState> movePool_;
+    std::vector<std::int32_t> moveFree_;
+
+    /** Parked MOVING-flow entries: dense index into pooled per-flow
+     *  lists (-1 when none). Slots keep their capacity across reuse. */
+    std::vector<std::int32_t> parkedIdx_;
+    std::vector<std::deque<PendingEntry>> parkedPool_;
+    std::vector<std::int32_t> parkedFree_;
     /** Install-ready flows, queued per destination FPC. Each FPC's
      *  swap-in port takes one TCB per two cycles, so only the head of
      *  each queue can ever make progress in a tick — per-FPC queues
@@ -194,6 +256,8 @@ class Scheduler : public sim::ClockedObject
     sim::Counter eventsRouted_;
     sim::Counter eventsCoalesced_;
     sim::Counter eventsPended_;
+    sim::Counter eventsParked_;
+    sim::Counter retryAttempts_;
     sim::Counter migrations_;
     sim::Counter rebalances_;
     sim::Counter fifoOverflows_;

@@ -1,6 +1,7 @@
 #include "event_queue.hh"
 
 #include "sim/flight_recorder.hh"
+#include "sim/simulation.hh" // ClockedObject::TickEvent (tagged dispatch)
 
 #include <algorithm>
 #include <bit>
@@ -10,6 +11,9 @@ namespace f4t::sim
 
 namespace
 {
+
+/** Runtime dispatch mode; see setTaggedDispatch(). */
+bool g_taggedDispatch = taggedDispatchCompiledIn;
 
 /** Occupancy bitmap geometry: one bit per granule bucket. */
 constexpr std::size_t bitsWords = EventQueue::numBuckets / 64;
@@ -26,6 +30,18 @@ eventCategory(const Event *ev)
 }
 
 } // namespace
+
+bool
+taggedDispatchEnabled()
+{
+    return g_taggedDispatch;
+}
+
+void
+setTaggedDispatch(bool on)
+{
+    g_taggedDispatch = on && taggedDispatchCompiledIn;
+}
 
 Event::~Event()
 {
@@ -531,12 +547,37 @@ EventQueue::fire(Event *ev, Tick when, bool self_deleting)
         fr::beat();
     if (prof::enabled()) {
         prof::Scope event_scope(eventCategory(ev));
-        ev->process();
+        dispatch(ev);
     } else {
-        ev->process();
+        dispatch(ev);
     }
     if (self_deleting)
         recycleCallback(static_cast<CallbackEvent *>(ev));
+}
+
+void
+EventQueue::dispatch(Event *ev)
+{
+    // Tagged-union hot path: the two shapes that account for nearly
+    // every fire — pooled callbacks and ClockedObject ticks — are
+    // reached through a switch on the kind byte and a direct call.
+    // Both bodies are what their virtual process() would have run, so
+    // the two modes are observably identical (the dispatch-
+    // differential corpus proves it); `generic` and the escape hatch
+    // take the virtual path.
+    if (taggedDispatchCompiledIn && g_taggedDispatch) {
+        switch (ev->kind_) {
+          case EventKind::callback:
+            static_cast<CallbackEvent *>(ev)->fn_();
+            return;
+          case EventKind::tick:
+            static_cast<ClockedObject::TickEvent *>(ev)->run();
+            return;
+          case EventKind::generic:
+            break;
+        }
+    }
+    ev->process();
 }
 
 bool

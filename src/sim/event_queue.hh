@@ -66,6 +66,44 @@ namespace f4t::sim
 class EventQueue;
 
 /**
+ * Dispatch tag for the hot-path tagged-union representation: the two
+ * event shapes that dominate every run — pooled one-shot callbacks and
+ * ClockedObject ticks — carry a kind byte so the queue can dispatch
+ * them with a switch and a direct (inlinable) call instead of a
+ * virtual process(). Everything else stays `generic` and takes the
+ * virtual path; cold/rare event types never need to opt in.
+ */
+enum class EventKind : std::uint8_t
+{
+    generic,  ///< dispatch through virtual process()
+    callback, ///< EventQueue::CallbackEvent — invoke the SmallFunction
+    tick,     ///< ClockedObject::TickEvent — run the tick/re-arm logic
+};
+
+/**
+ * Compile-time escape hatch (CMake option F4T_TAGGED_DISPATCH): when
+ * compiled out, every event dispatches through virtual process() and
+ * setTaggedDispatch() is inert, so differential runs can prove the two
+ * representations byte-identical.
+ */
+#if defined(F4T_TAGGED_DISPATCH) && !F4T_TAGGED_DISPATCH
+inline constexpr bool taggedDispatchCompiledIn = false;
+#else
+inline constexpr bool taggedDispatchCompiledIn = true;
+#endif
+
+/** Runtime view of the dispatch mode (true = switch on EventKind). */
+bool taggedDispatchEnabled();
+
+/**
+ * Flip dispatch modes at runtime (no-op toward `true` when the tagged
+ * path is compiled out). Both paths run events in the identical order
+ * with identical effects — the in-process dispatch-differential twin
+ * test relies on toggling this between runs.
+ */
+void setTaggedDispatch(bool on);
+
+/**
  * Base class for all schedulable events. Subclasses implement process().
  * An Event may be scheduled on at most one queue at a time.
  */
@@ -82,6 +120,15 @@ class Event
 
     explicit Event(int priority = defaultPriority) : priority_(priority) {}
     virtual ~Event();
+
+  protected:
+    /** For the known hot subclasses: tag the event for switch dispatch
+     *  (see EventKind). The tag must match the dynamic type — fire()
+     *  static_casts on it. */
+    Event(int priority, EventKind kind) : priority_(priority), kind_(kind)
+    {}
+
+  public:
 
     Event(const Event &) = delete;
     Event &operator=(const Event &) = delete;
@@ -111,6 +158,7 @@ class Event
 
     Tick when_ = 0;
     int priority_;
+    EventKind kind_ = EventKind::generic;
     bool scheduled_ = false;
     std::uint64_t generation_ = 0; ///< bumped on deschedule to squash
     /** Squashed container entries still naming this event. */
@@ -325,7 +373,7 @@ class EventQueue
     class CallbackEvent : public Event
     {
       public:
-        CallbackEvent() = default;
+        CallbackEvent() : Event(defaultPriority, EventKind::callback) {}
         void process() override { fn_(); }
         std::string description() const override { return what_; }
         const char *profileTag() const override { return what_; }
@@ -372,6 +420,8 @@ class EventQueue
     void spillSolo();
     /** Shared fire tail: pop bookkeeping + process + recycle. */
     void fire(Event *ev, Tick when, bool self_deleting);
+    /** Invoke the event body: EventKind switch or virtual process(). */
+    void dispatch(Event *ev);
 
     Node *acquireNode();
     void releaseNode(Node *node);

@@ -326,22 +326,30 @@ class ClockedObject : public SimObject
     }
 
   private:
+    friend class EventQueue; ///< tagged dispatch names TickEvent::run()
+
     struct TickEvent : public Event
     {
         explicit TickEvent(ClockedObject &owner)
-            : Event(clockPriority), owner_(owner)
+            : Event(clockPriority, EventKind::tick), owner_(owner)
         {}
 
+        /**
+         * The tick body, non-virtual so the queue's tagged dispatch
+         * reaches it with a direct call; process() is the virtual-path
+         * spelling of the same thing.
+         *
+         * This event only ever fires on a clock edge, so the next
+         * edge is one period ahead of the fire tick — no need for
+         * activate()'s general clockEdge() computation. tick() may
+         * have re-armed the event itself via activateAt() (a
+         * fast-forward nap), so only schedule here when it has not,
+         * and never leave a nap pending past the next edge when
+         * tick() asked to run again.
+         */
         void
-        process() override
+        run()
         {
-            // This event only ever fires on a clock edge, so the next
-            // edge is one period ahead of the fire tick — no need for
-            // activate()'s general clockEdge() computation. tick() may
-            // have re-armed the event itself via activateAt() (a
-            // fast-forward nap), so only schedule here when it has not,
-            // and never leave a nap pending past the next edge when
-            // tick() asked to run again.
             Tick fired_at = when();
             bool again = owner_.tick();
             if (!again)
@@ -352,6 +360,8 @@ class ClockedObject : public SimObject
             else if (when() > next)
                 owner_.queue().reschedule(this, next);
         }
+
+        void process() override { run(); }
 
         std::string
         description() const override

@@ -190,15 +190,13 @@ SoftTcpStack::resolveMac(net::Ipv4Address ip) const
 SoftTcpStack::Conn *
 SoftTcpStack::find(SoftConnId id)
 {
-    auto it = conns_.find(id);
-    return it == conns_.end() ? nullptr : it->second.get();
+    return id < conns_.size() ? conns_[id].get() : nullptr;
 }
 
 const SoftTcpStack::Conn *
 SoftTcpStack::find(SoftConnId id) const
 {
-    auto it = conns_.find(id);
-    return it == conns_.end() ? nullptr : it->second.get();
+    return id < conns_.size() ? conns_[id].get() : nullptr;
 }
 
 SoftTcpStack::Conn &
@@ -231,7 +229,8 @@ SoftTcpStack::connect(net::Ipv4Address remote_ip, std::uint16_t remote_port)
 
     connByTuple_[conn->tuple] = id;
     Conn &ref = *conn;
-    conns_.emplace(id, std::move(conn));
+    conns_.resize(id + 1); // ids are monotonic: id == old size
+    conns_[id] = std::move(conn);
 
     sendControl(ref, TcpFlags::syn, /*with_mss=*/true);
     armRto(ref);
@@ -402,7 +401,8 @@ SoftTcpStack::handleListen(const net::Packet &pkt, std::uint16_t port)
 
     connByTuple_[conn->tuple] = id;
     Conn &ref = *conn;
-    conns_.emplace(id, std::move(conn));
+    conns_.resize(id + 1); // ids are monotonic: id == old size
+    conns_[id] = std::move(conn);
 
     sendControl(ref, TcpFlags::syn | TcpFlags::ack, /*with_mss=*/true);
     armRto(ref);
@@ -940,7 +940,7 @@ SoftTcpStack::destroy(SoftConnId id)
     if (!conn)
         return;
     connByTuple_.erase(conn->tuple);
-    conns_.erase(id);
+    conns_[id].reset();
 }
 
 void

@@ -250,7 +250,14 @@ class SoftTcpStack : public sim::SimObject, public net::PacketSink
     std::unordered_map<std::uint32_t, net::MacAddress> arpTable_;
     std::unordered_set<std::uint16_t> listeningPorts_;
     std::unordered_map<net::FourTuple, SoftConnId> connByTuple_;
-    std::unordered_map<SoftConnId, std::unique_ptr<Conn>> conns_;
+    /**
+     * Connection table indexed by SoftConnId. Ids are handed out
+     * monotonically and never reused, so the table is a dense vector:
+     * find() on the per-packet path is a bounds check plus one indexed
+     * load instead of a hash probe. A destroyed connection leaves a
+     * null slot (8 bytes) behind; the Conn itself is freed.
+     */
+    std::vector<std::unique_ptr<Conn>> conns_;
     SoftConnId nextConnId_ = 1;
     std::uint16_t nextEphemeralPort_ = 32768;
 

@@ -278,6 +278,16 @@ const char *toString(TcpEventType type);
  * A TCP event as it flows from the host interface / RX parser / timers
  * through the scheduler into an FPC or the memory manager.
  */
+/**
+ * A TCP event on the scheduler → FPC hot path. This is deliberately a
+ * flat tagged union, not an Event subclass: `type` is the kind tag and
+ * the payload fields below are shared across kinds (a kind reads only
+ * its own fields). Consumers dispatch with a switch on `type` — see
+ * Fpc::handleEvent and accumulateEvent — and the whole struct packs
+ * into 32 bytes (plus the trace token when tracing is compiled in), so
+ * scheduler rings and FPC input FIFOs move it by value with no
+ * indirection, no vtable, and no heap traffic (DESIGN.md §17).
+ */
 struct TcpEvent
 {
     FlowId flow = invalidFlowId;
